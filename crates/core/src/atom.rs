@@ -1,0 +1,215 @@
+//! Basic provenance annotations ("atoms").
+//!
+//! The `UP[X]` construction of the paper starts from a set `X` of basic
+//! annotations. Atoms are attached to two kinds of carriers:
+//!
+//! * **tuple atoms** (`x1`, `x2`, …) annotate the tuples of the initial
+//!   database (an *X-database* in the paper's terminology), and
+//! * **transaction atoms** (`p`, `p'`, …) annotate update queries; every query
+//!   of a transaction shares the transaction's atom (Section 3.1 of the
+//!   paper).
+//!
+//! Atoms are interned in an [`AtomTable`]; an [`Atom`] is a cheap `Copy`
+//! handle. The distinction between the two kinds only matters to
+//! applications (e.g. deletion propagation assigns `false` to tuple atoms,
+//! transaction abortion to transaction atoms); the algebra itself treats all
+//! atoms uniformly as elements of `X`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The carrier kind of an atom. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomKind {
+    /// Annotates a tuple of the initial database.
+    Tuple,
+    /// Annotates an update query / transaction.
+    Txn,
+}
+
+/// An interned basic annotation (an element of the paper's set `X`).
+///
+/// Atoms are created through an [`AtomTable`] and compared by identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(pub(crate) u32);
+
+impl Atom {
+    /// The raw interner index. Useful for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an atom from a raw index previously obtained through
+    /// [`Atom::index`]. The caller must ensure the index is valid for the
+    /// table it will be used with.
+    #[inline]
+    pub fn from_index(ix: usize) -> Atom {
+        Atom(ix as u32)
+    }
+}
+
+/// Interner for [`Atom`]s, recording each atom's kind and printable name.
+#[derive(Debug, Default, Clone)]
+pub struct AtomTable {
+    names: Vec<String>,
+    kinds: Vec<AtomKind>,
+    by_name: HashMap<String, Atom>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no atom has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn intern(&mut self, name: String, kind: AtomKind) -> Atom {
+        debug_assert!(self.names.len() < u32::MAX as usize);
+        let atom = Atom(self.names.len() as u32);
+        self.by_name.insert(name.clone(), atom);
+        self.names.push(name);
+        self.kinds.push(kind);
+        atom
+    }
+
+    /// Interns a fresh tuple atom with a generated name (`x0`, `x1`, …).
+    pub fn fresh_tuple(&mut self) -> Atom {
+        let name = format!("x{}", self.names.len());
+        self.intern(name, AtomKind::Tuple)
+    }
+
+    /// Interns a fresh transaction atom with a generated name (`p0`, `p1`, …).
+    pub fn fresh_txn(&mut self) -> Atom {
+        let name = format!("p{}", self.names.len());
+        self.intern(name, AtomKind::Txn)
+    }
+
+    /// Interns (or looks up) an atom with an explicit name.
+    ///
+    /// If the name already exists, the existing atom is returned and the
+    /// requested kind must match the recorded one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists with a different kind.
+    pub fn named(&mut self, name: &str, kind: AtomKind) -> Atom {
+        if let Some(&a) = self.by_name.get(name) {
+            assert_eq!(
+                self.kinds[a.index()],
+                kind,
+                "atom {name:?} already interned with a different kind"
+            );
+            return a;
+        }
+        self.intern(name.to_owned(), kind)
+    }
+
+    /// Looks up an atom by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The printable name of `atom`.
+    pub fn name(&self, atom: Atom) -> &str {
+        &self.names[atom.index()]
+    }
+
+    /// The kind of `atom`.
+    pub fn kind(&self, atom: Atom) -> AtomKind {
+        self.kinds[atom.index()]
+    }
+
+    /// Iterates over all interned atoms.
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        (0..self.names.len() as u32).map(Atom)
+    }
+
+    /// Iterates over atoms of the given kind.
+    pub fn iter_kind(&self, kind: AtomKind) -> impl Iterator<Item = Atom> + '_ {
+        self.iter().filter(move |a| self.kind(*a) == kind)
+    }
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomKind::Tuple => write!(f, "tuple"),
+            AtomKind::Txn => write!(f, "txn"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_atoms_are_distinct() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        let b = t.fresh_tuple();
+        let p = t.fresh_txn();
+        assert_ne!(a, b);
+        assert_ne!(a, p);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kind(a), AtomKind::Tuple);
+        assert_eq!(t.kind(p), AtomKind::Txn);
+    }
+
+    #[test]
+    fn named_atoms_are_deduplicated() {
+        let mut t = AtomTable::new();
+        let p = t.named("p", AtomKind::Txn);
+        let p2 = t.named("p", AtomKind::Txn);
+        assert_eq!(p, p2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(p), "p");
+        assert_eq!(t.lookup("p"), Some(p));
+        assert_eq!(t.lookup("q"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn named_atom_kind_mismatch_panics() {
+        let mut t = AtomTable::new();
+        t.named("p", AtomKind::Txn);
+        t.named("p", AtomKind::Tuple);
+    }
+
+    #[test]
+    fn iter_kind_filters() {
+        let mut t = AtomTable::new();
+        t.fresh_tuple();
+        t.fresh_txn();
+        t.fresh_tuple();
+        assert_eq!(t.iter_kind(AtomKind::Tuple).count(), 2);
+        assert_eq!(t.iter_kind(AtomKind::Txn).count(), 1);
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn generated_names_follow_counter() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        let p = t.fresh_txn();
+        assert_eq!(t.name(a), "x0");
+        assert_eq!(t.name(p), "p1");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        assert_eq!(Atom::from_index(a.index()), a);
+    }
+}

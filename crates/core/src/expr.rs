@@ -1,0 +1,427 @@
+//! Symbolic `UP[X]` provenance expressions.
+//!
+//! Expressions are built from atoms and the distinguished `0` using the five
+//! abstract operations of the paper (Section 3.1):
+//!
+//! * `+I` — insertion ([`Expr::PlusI`]),
+//! * `−` — deletion; the paper initially has `−D` and `−M` and proves them
+//!   equal (Example 3.3), so we carry a single [`Expr::Minus`],
+//! * `+M` / `·M` — modification ([`Expr::PlusM`], [`Expr::DotM`]),
+//! * `+` / `Σ` — the disjunction over the set of tuples updated into a single
+//!   tuple ([`Expr::Sum`]).
+//!
+//! Sub-expressions are shared through [`Arc`], so the *naive* provenance
+//! construction of Section 5.1 — whose logical size is exponential in the
+//! transaction length (Proposition 5.1) — stays materializable as a DAG.
+//! [`Expr::logical_size`] reports the tree size (counting shared nodes with
+//! multiplicity, saturating), which is the quantity the paper's experiments
+//! measure; [`Expr::dag_size`] reports distinct nodes.
+//!
+//! The *zero-related axioms* of Section 3.1 are applied eagerly by the smart
+//! constructors ([`Expr::plus_i`], [`Expr::minus`], …); they are part of the
+//! base structure, not of the equivalence axioms of Figure 3 (which are the
+//! subject of [`crate::rewrite`] and [`crate::nf`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::atom::{Atom, AtomTable};
+
+/// A shared reference to an expression node.
+pub type ExprRef = Arc<Expr>;
+
+/// A symbolic `UP[X]` provenance expression.
+///
+/// Binary nodes keep the paper's operand order: the right operand of
+/// `+I`, `−`, `+M` and `·M` is the "condition" side (usually a query
+/// annotation), per the reading given after the zero axioms in Section 3.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The distinguished `0`: an absent tuple / an update that did not
+    /// take place.
+    Zero,
+    /// A basic annotation from `X`.
+    Atom(Atom),
+    /// `a +I b` — provenance of an insertion.
+    PlusI(ExprRef, ExprRef),
+    /// `a − b` — provenance of a deletion (also of the pre-image of a
+    /// modification; `−D = −M` by Example 3.3).
+    Minus(ExprRef, ExprRef),
+    /// `a +M b` — provenance contributed to the post-image of a
+    /// modification.
+    PlusM(ExprRef, ExprRef),
+    /// `a ·M b` — a tuple annotated `a` updated by a query annotated `b`.
+    DotM(ExprRef, ExprRef),
+    /// `Σ` — disjunction over the set of tuples modified into one tuple.
+    Sum(Vec<ExprRef>),
+}
+
+impl Expr {
+    /// The shared `0` constant.
+    pub fn zero() -> ExprRef {
+        thread_local! {
+            static ZERO: ExprRef = Arc::new(Expr::Zero);
+        }
+        ZERO.with(Arc::clone)
+    }
+
+    /// An atom leaf.
+    pub fn atom(a: Atom) -> ExprRef {
+        Arc::new(Expr::Atom(a))
+    }
+
+    /// `a +I b`, with the zero axioms `0 +I a = a` and `a +I 0 = a` applied.
+    pub fn plus_i(a: ExprRef, b: ExprRef) -> ExprRef {
+        match (&*a, &*b) {
+            (_, Expr::Zero) => a,
+            (Expr::Zero, _) => b,
+            _ => Arc::new(Expr::PlusI(a, b)),
+        }
+    }
+
+    /// `a − b`, with the zero axioms `0 − a = 0` and `a − 0 = a` applied.
+    pub fn minus(a: ExprRef, b: ExprRef) -> ExprRef {
+        match (&*a, &*b) {
+            (_, Expr::Zero) => a,
+            (Expr::Zero, _) => Expr::zero(),
+            _ => Arc::new(Expr::Minus(a, b)),
+        }
+    }
+
+    /// `a +M b`, with the zero axioms `0 +M a = a` and `a +M 0 = a` applied.
+    pub fn plus_m(a: ExprRef, b: ExprRef) -> ExprRef {
+        match (&*a, &*b) {
+            (_, Expr::Zero) => a,
+            (Expr::Zero, _) => b,
+            _ => Arc::new(Expr::PlusM(a, b)),
+        }
+    }
+
+    /// `a ·M b`, with the zero axiom `a ·M 0 = 0 ·M a = 0` applied.
+    pub fn dot_m(a: ExprRef, b: ExprRef) -> ExprRef {
+        match (&*a, &*b) {
+            (Expr::Zero, _) | (_, Expr::Zero) => Expr::zero(),
+            _ => Arc::new(Expr::DotM(a, b)),
+        }
+    }
+
+    /// `Σ terms`: zeros are dropped, nested sums are flattened, an empty sum
+    /// is `0` and a singleton sum is the term itself.
+    pub fn sum(terms: impl IntoIterator<Item = ExprRef>) -> ExprRef {
+        let mut flat: Vec<ExprRef> = Vec::new();
+        for t in terms {
+            match &*t {
+                Expr::Zero => {}
+                Expr::Sum(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(t),
+            }
+        }
+        match flat.len() {
+            0 => Expr::zero(),
+            1 => flat.pop().expect("len checked"),
+            _ => Arc::new(Expr::Sum(flat)),
+        }
+    }
+
+    /// True if this node is the `0` constant.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Zero)
+    }
+
+    /// Logical (tree) size: the number of nodes when shared sub-expressions
+    /// are counted with multiplicity. This is the provenance-size metric of
+    /// the paper's experiments and the quantity that blows up exponentially
+    /// for the naive construction (Proposition 5.1). Saturates at
+    /// `u128::MAX`.
+    pub fn logical_size(self: &ExprRef) -> u128 {
+        fn go(e: &ExprRef, memo: &mut HashMap<*const Expr, u128>) -> u128 {
+            let key = Arc::as_ptr(e);
+            if let Some(&s) = memo.get(&key) {
+                return s;
+            }
+            let s = match &**e {
+                Expr::Zero | Expr::Atom(_) => 1,
+                Expr::PlusI(a, b)
+                | Expr::Minus(a, b)
+                | Expr::PlusM(a, b)
+                | Expr::DotM(a, b) => go(a, memo).saturating_add(go(b, memo)).saturating_add(1),
+                Expr::Sum(ts) => ts
+                    .iter()
+                    .fold(1u128, |acc, t| acc.saturating_add(go(t, memo))),
+            };
+            memo.insert(key, s);
+            s
+        }
+        go(self, &mut HashMap::new())
+    }
+
+    /// Number of *distinct* nodes in the shared DAG.
+    pub fn dag_size(self: &ExprRef) -> usize {
+        fn go(e: &ExprRef, seen: &mut HashMap<*const Expr, ()>) -> usize {
+            let key = Arc::as_ptr(e);
+            if seen.insert(key, ()).is_some() {
+                return 0;
+            }
+            1 + match &**e {
+                Expr::Zero | Expr::Atom(_) => 0,
+                Expr::PlusI(a, b)
+                | Expr::Minus(a, b)
+                | Expr::PlusM(a, b)
+                | Expr::DotM(a, b) => go(a, seen) + go(b, seen),
+                Expr::Sum(ts) => ts.iter().map(|t| go(t, seen)).sum(),
+            }
+        }
+        go(self, &mut HashMap::new())
+    }
+
+    /// Depth of the expression DAG (a leaf has depth 1).
+    pub fn depth(self: &ExprRef) -> usize {
+        fn go(e: &ExprRef, memo: &mut HashMap<*const Expr, usize>) -> usize {
+            let key = Arc::as_ptr(e);
+            if let Some(&d) = memo.get(&key) {
+                return d;
+            }
+            let d = match &**e {
+                Expr::Zero | Expr::Atom(_) => 1,
+                Expr::PlusI(a, b)
+                | Expr::Minus(a, b)
+                | Expr::PlusM(a, b)
+                | Expr::DotM(a, b) => 1 + go(a, memo).max(go(b, memo)),
+                Expr::Sum(ts) => 1 + ts.iter().map(|t| go(t, memo)).max().unwrap_or(0),
+            };
+            memo.insert(key, d);
+            d
+        }
+        go(self, &mut HashMap::new())
+    }
+
+    /// Collects the atoms occurring in the expression, deduplicated, in
+    /// first-occurrence order.
+    pub fn atoms(self: &ExprRef) -> Vec<Atom> {
+        let mut out = Vec::new();
+        let mut seen_nodes: HashMap<*const Expr, ()> = HashMap::new();
+        let mut seen_atoms: HashMap<Atom, ()> = HashMap::new();
+        fn go(
+            e: &ExprRef,
+            out: &mut Vec<Atom>,
+            seen_nodes: &mut HashMap<*const Expr, ()>,
+            seen_atoms: &mut HashMap<Atom, ()>,
+        ) {
+            if seen_nodes.insert(Arc::as_ptr(e), ()).is_some() {
+                return;
+            }
+            match &**e {
+                Expr::Zero => {}
+                Expr::Atom(a) => {
+                    if seen_atoms.insert(*a, ()).is_none() {
+                        out.push(*a);
+                    }
+                }
+                Expr::PlusI(a, b)
+                | Expr::Minus(a, b)
+                | Expr::PlusM(a, b)
+                | Expr::DotM(a, b) => {
+                    go(a, out, seen_nodes, seen_atoms);
+                    go(b, out, seen_nodes, seen_atoms);
+                }
+                Expr::Sum(ts) => {
+                    for t in ts {
+                        go(t, out, seen_nodes, seen_atoms);
+                    }
+                }
+            }
+        }
+        go(self, &mut out, &mut seen_nodes, &mut seen_atoms);
+        out
+    }
+
+    /// A displayable view of the expression that resolves atom names through
+    /// `table`.
+    pub fn display<'a>(self: &'a ExprRef, table: &'a AtomTable) -> DisplayExpr<'a> {
+        DisplayExpr { expr: self, table }
+    }
+}
+
+/// Pretty-printer for [`Expr`], produced by [`Expr::display`].
+///
+/// The output mirrors the paper's notation, e.g.
+/// `(p1 +M (p3 .M p)) - p`.
+pub struct DisplayExpr<'a> {
+    expr: &'a ExprRef,
+    table: &'a AtomTable,
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self.expr, self.table, f, false)
+    }
+}
+
+fn write_expr(
+    e: &Expr,
+    t: &AtomTable,
+    f: &mut fmt::Formatter<'_>,
+    parens: bool,
+) -> fmt::Result {
+    match e {
+        Expr::Zero => write!(f, "0"),
+        Expr::Atom(a) => write!(f, "{}", t.name(*a)),
+        Expr::Sum(ts) => {
+            if parens {
+                write!(f, "(")?;
+            }
+            for (i, term) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write_expr(term, t, f, true)?;
+            }
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::PlusI(a, b) => write_binop(a, "+I", b, t, f, parens),
+        Expr::Minus(a, b) => write_binop(a, "-", b, t, f, parens),
+        Expr::PlusM(a, b) => write_binop(a, "+M", b, t, f, parens),
+        Expr::DotM(a, b) => write_binop(a, ".M", b, t, f, parens),
+    }
+}
+
+fn write_binop(
+    a: &Expr,
+    op: &str,
+    b: &Expr,
+    t: &AtomTable,
+    f: &mut fmt::Formatter<'_>,
+    parens: bool,
+) -> fmt::Result {
+    if parens {
+        write!(f, "(")?;
+    }
+    write_expr(a, t, f, true)?;
+    write!(f, " {op} ")?;
+    write_expr(b, t, f, true)?;
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AtomTable, ExprRef, ExprRef, ExprRef) {
+        let mut t = AtomTable::new();
+        let a = Expr::atom(t.fresh_tuple());
+        let b = Expr::atom(t.fresh_tuple());
+        let p = Expr::atom(t.fresh_txn());
+        (t, a, b, p)
+    }
+
+    #[test]
+    fn zero_axioms_plus_i() {
+        let (_, a, _, _) = setup();
+        assert_eq!(*Expr::plus_i(Expr::zero(), a.clone()), *a);
+        assert_eq!(*Expr::plus_i(a.clone(), Expr::zero()), *a);
+    }
+
+    #[test]
+    fn zero_axioms_minus() {
+        let (_, a, _, _) = setup();
+        assert!(Expr::minus(Expr::zero(), a.clone()).is_zero());
+        assert_eq!(*Expr::minus(a.clone(), Expr::zero()), *a);
+    }
+
+    #[test]
+    fn zero_axioms_plus_m() {
+        let (_, a, _, _) = setup();
+        assert_eq!(*Expr::plus_m(Expr::zero(), a.clone()), *a);
+        assert_eq!(*Expr::plus_m(a.clone(), Expr::zero()), *a);
+    }
+
+    #[test]
+    fn zero_axioms_dot_m() {
+        let (_, a, _, _) = setup();
+        assert!(Expr::dot_m(Expr::zero(), a.clone()).is_zero());
+        assert!(Expr::dot_m(a.clone(), Expr::zero()).is_zero());
+    }
+
+    #[test]
+    fn sum_flattens_and_drops_zeros() {
+        let (_, a, b, p) = setup();
+        let inner = Expr::sum([a.clone(), Expr::zero()]);
+        assert_eq!(*inner, *a, "singleton sum collapses");
+        let s = Expr::sum([Expr::sum([a.clone(), b.clone()]), p.clone(), Expr::zero()]);
+        match &*s {
+            Expr::Sum(ts) => assert_eq!(ts.len(), 3),
+            other => panic!("expected flattened sum, got {other:?}"),
+        }
+        assert!(Expr::sum([]).is_zero());
+    }
+
+    #[test]
+    fn logical_size_counts_shared_nodes_with_multiplicity() {
+        let (_, a, _, p) = setup();
+        let shared = Expr::plus_m(a.clone(), Expr::dot_m(a.clone(), p.clone()));
+        // a +M (a .M p): nodes = a, a, p, dot, plus_m = 5
+        assert_eq!(shared.logical_size(), 5);
+        assert_eq!(shared.dag_size(), 4, "shared `a` counted once in DAG");
+        assert_eq!(shared.depth(), 3);
+    }
+
+    #[test]
+    fn exponential_logical_size_stays_cheap_via_sharing() {
+        let (mut t, a, b, _) = setup();
+        // Ping-pong modifications as in Proposition 5.1.
+        let mut e1 = a;
+        let mut e2 = b;
+        for _ in 0..200 {
+            let p = Expr::atom(t.fresh_txn());
+            let new_e2 = Expr::plus_m(e2.clone(), Expr::dot_m(e1.clone(), p.clone()));
+            let new_e1 = Expr::minus(e1, p);
+            e1 = new_e2;
+            e2 = new_e1;
+        }
+        assert_eq!(e1.logical_size(), u128::MAX, "saturated ⇒ astronomically large");
+        assert!(e1.dag_size() < 2000, "but the DAG stays linear");
+    }
+
+    #[test]
+    fn atoms_are_deduplicated_in_order() {
+        let (_, a, b, p) = setup();
+        let e = Expr::plus_m(
+            a.clone(),
+            Expr::dot_m(Expr::sum([a.clone(), b.clone()]), p.clone()),
+        );
+        let atoms = e.atoms();
+        assert_eq!(atoms.len(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let mut t = AtomTable::new();
+        let p1 = t.named("p1", crate::atom::AtomKind::Tuple);
+        let p3 = t.named("p3", crate::atom::AtomKind::Tuple);
+        let p = t.named("p", crate::atom::AtomKind::Txn);
+        // (p1 +M (p3 ·M p)) − p, from Example 3.2.
+        let e = Expr::minus(
+            Expr::plus_m(
+                Expr::atom(p1),
+                Expr::dot_m(Expr::atom(p3), Expr::atom(p)),
+            ),
+            Expr::atom(p),
+        );
+        assert_eq!(format!("{}", e.display(&t)), "(p1 +M (p3 .M p)) - p");
+    }
+
+    #[test]
+    fn structural_equality() {
+        let (_, a, _, p) = setup();
+        let e1 = Expr::plus_i(a.clone(), p.clone());
+        let e2 = Expr::plus_i(a.clone(), p.clone());
+        assert_eq!(*e1, *e2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Update-Structures: concrete semantics for the abstract `UP[X]` operators.
+//!
+//! Section 4 of the paper represents a concrete semantics as a tuple
+//! `(K, +M, ·M, −, +I, +, 0)` called an *Update-Structure*. The
+//! [`UpdateStructure`] trait captures exactly that signature; evaluating a
+//! symbolic [`Expr`](crate::Expr) under a structure plus a valuation of its
+//! atoms is the homomorphic "specialization" of Proposition 4.2.
+//!
+//! A structure is only meaningful for this framework if it satisfies the
+//! equivalence axioms of Figure 3 and the zero axioms; the executable
+//! checker lives in [`crate::axioms`]. Concrete instances (Boolean deletion
+//! propagation, access-control sets, trust certification, …) live in the
+//! `uprov-structures` crate.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use crate::atom::Atom;
+use crate::expr::{Expr, ExprRef};
+
+/// A concrete Update-Structure `(K, +M, ·M, −, +I, +, 0)`.
+///
+/// Implementations should satisfy the axioms of Figure 3 together with the
+/// zero axioms of Section 3.1 (checkable with
+/// [`crate::axioms::check_axioms`]); under that condition, evaluation of
+/// provenance is invariant under transaction rewriting (Propositions 3.5 and
+/// 4.2).
+pub trait UpdateStructure {
+    /// The carrier set `K`.
+    type Value: Clone + PartialEq + Debug;
+
+    /// The distinguished `0 ∈ K` (absent tuple / update that did not occur).
+    fn zero(&self) -> Self::Value;
+
+    /// `a +I b` — insertion.
+    fn plus_i(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// `a − b` — deletion (and modification pre-image).
+    fn minus(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// `a +M b` — modification post-image accumulation.
+    fn plus_m(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// `a ·M b` — source tuple `a` rewritten by query `b`.
+    fn dot_m(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// `a + b` — the disjunction `Σ` over modification sources.
+    fn plus(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Whether a value denotes an absent tuple. Defaults to equality
+    /// with [`zero`](UpdateStructure::zero).
+    fn is_absent(&self, v: &Self::Value) -> bool {
+        *v == self.zero()
+    }
+
+    /// Folds `Σ` over an iterator of values (empty `Σ` is `0`).
+    fn sum<'a, I>(&self, terms: I) -> Self::Value
+    where
+        Self::Value: 'a,
+        I: IntoIterator<Item = &'a Self::Value>,
+    {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => self.zero(),
+            Some(first) => it.fold(first.clone(), |acc, t| self.plus(&acc, t)),
+        }
+    }
+}
+
+/// An assignment of concrete values to atoms, used to specialize symbolic
+/// provenance (Section 4.1: deleting a tuple assigns `false` to its atom,
+/// aborting a transaction assigns `false` to the transaction's atom, …).
+#[derive(Debug, Clone)]
+pub struct Valuation<V> {
+    map: HashMap<Atom, V>,
+    default: V,
+}
+
+impl<V: Clone> Valuation<V> {
+    /// A valuation that maps every atom to `default`.
+    pub fn constant(default: V) -> Self {
+        Valuation {
+            map: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Overrides the value of one atom.
+    pub fn set(&mut self, atom: Atom, value: V) -> &mut Self {
+        self.map.insert(atom, value);
+        self
+    }
+
+    /// Builder-style [`set`](Valuation::set).
+    pub fn with(mut self, atom: Atom, value: V) -> Self {
+        self.map.insert(atom, value);
+        self
+    }
+
+    /// The value assigned to `atom`.
+    pub fn get(&self, atom: Atom) -> &V {
+        self.map.get(&atom).unwrap_or(&self.default)
+    }
+
+    /// Number of explicitly overridden atoms.
+    pub fn overridden(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Evaluates a symbolic expression under an Update-Structure and a
+/// valuation.
+///
+/// Shared sub-expressions are evaluated once (pointer-memoized), so even the
+/// exponential-size naive provenance of Proposition 5.1 evaluates in time
+/// linear in its DAG size.
+pub fn eval<S: UpdateStructure>(
+    expr: &ExprRef,
+    structure: &S,
+    valuation: &Valuation<S::Value>,
+) -> S::Value {
+    let mut memo: HashMap<*const Expr, S::Value> = HashMap::new();
+    eval_memo(expr, structure, valuation, &mut memo)
+}
+
+fn eval_memo<S: UpdateStructure>(
+    expr: &ExprRef,
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut HashMap<*const Expr, S::Value>,
+) -> S::Value {
+    let key = Arc::as_ptr(expr);
+    if let Some(v) = memo.get(&key) {
+        return v.clone();
+    }
+    let v = match &**expr {
+        Expr::Zero => s.zero(),
+        Expr::Atom(a) => val.get(*a).clone(),
+        Expr::PlusI(a, b) => {
+            let (va, vb) = (eval_memo(a, s, val, memo), eval_memo(b, s, val, memo));
+            s.plus_i(&va, &vb)
+        }
+        Expr::Minus(a, b) => {
+            let (va, vb) = (eval_memo(a, s, val, memo), eval_memo(b, s, val, memo));
+            s.minus(&va, &vb)
+        }
+        Expr::PlusM(a, b) => {
+            let (va, vb) = (eval_memo(a, s, val, memo), eval_memo(b, s, val, memo));
+            s.plus_m(&va, &vb)
+        }
+        Expr::DotM(a, b) => {
+            let (va, vb) = (eval_memo(a, s, val, memo), eval_memo(b, s, val, memo));
+            s.dot_m(&va, &vb)
+        }
+        Expr::Sum(ts) => {
+            let vals: Vec<S::Value> = ts
+                .iter()
+                .map(|t| eval_memo(t, s, val, memo))
+                .collect();
+            s.sum(vals.iter())
+        }
+    };
+    memo.insert(key, v.clone());
+    v
+}
+
+/// A homomorphism between two Update-Structures (Definition 4.1): a value
+/// mapping commuting with all six operations.
+///
+/// [`map_valuation`] lifts a homomorphism over a valuation;
+/// Proposition 4.2 (provenance propagation commutes with homomorphisms) is
+/// exercised by the test-suite: evaluating under `S1` and then applying `h`
+/// equals evaluating under `S2` after mapping the valuation.
+pub trait StructureHomomorphism<S1: UpdateStructure, S2: UpdateStructure> {
+    /// Applies the underlying value mapping `h : K1 → K2`.
+    fn apply(&self, v: &S1::Value) -> S2::Value;
+}
+
+/// Maps every value of a valuation through a homomorphism.
+pub fn map_valuation<S1, S2, H>(h: &H, val: &Valuation<S1::Value>) -> Valuation<S2::Value>
+where
+    S1: UpdateStructure,
+    S2: UpdateStructure,
+    H: StructureHomomorphism<S1, S2>,
+{
+    let mut out = Valuation::constant(h.apply(&val.default));
+    for (atom, v) in &val.map {
+        out.set(*atom, h.apply(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomTable;
+
+    /// The Boolean deletion-propagation structure from Section 4.1, local to
+    /// the core tests (the full catalogue lives in `uprov-structures`).
+    pub(crate) struct TestBool;
+
+    impl UpdateStructure for TestBool {
+        type Value = bool;
+        fn zero(&self) -> bool {
+            false
+        }
+        fn plus_i(&self, a: &bool, b: &bool) -> bool {
+            *a || *b
+        }
+        fn minus(&self, a: &bool, b: &bool) -> bool {
+            *a && !*b
+        }
+        fn plus_m(&self, a: &bool, b: &bool) -> bool {
+            *a || *b
+        }
+        fn dot_m(&self, a: &bool, b: &bool) -> bool {
+            *a && *b
+        }
+        fn plus(&self, a: &bool, b: &bool) -> bool {
+            *a || *b
+        }
+    }
+
+    #[test]
+    fn eval_example_4_3() {
+        // Tuple annotated 0 +M (p2 ·M p'); deleting the input tuple (p2 :=
+        // false) must evaluate to absent.
+        let mut t = AtomTable::new();
+        let p2 = t.fresh_tuple();
+        let pp = t.fresh_txn();
+        let e = Expr::plus_m(
+            Expr::zero(),
+            Expr::dot_m(Expr::atom(p2), Expr::atom(pp)),
+        );
+        let all_true = Valuation::constant(true);
+        assert!(eval(&e, &TestBool, &all_true));
+        let deleted = Valuation::constant(true).with(p2, false);
+        assert!(!eval(&e, &TestBool, &deleted));
+    }
+
+    #[test]
+    fn eval_example_4_4_transaction_abortion() {
+        // Products("Kids mnt bike", "Sport", $50) has provenance
+        // 0 +M (((p1 +M (p3 ·M p)) − p) ·M p'); aborting the first
+        // transaction (p := false) keeps the tuple present.
+        let mut t = AtomTable::new();
+        let p1 = t.fresh_tuple();
+        let p3 = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let pp = t.fresh_txn();
+        let inner = Expr::minus(
+            Expr::plus_m(
+                Expr::atom(p1),
+                Expr::dot_m(Expr::atom(p3), Expr::atom(p)),
+            ),
+            Expr::atom(p),
+        );
+        let e = Expr::plus_m(Expr::zero(), Expr::dot_m(inner, Expr::atom(pp)));
+        let aborted = Valuation::constant(true).with(p, false);
+        assert!(eval(&e, &TestBool, &aborted));
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        let vals: [bool; 0] = [];
+        assert!(!TestBool.sum(vals.iter()));
+    }
+
+    #[test]
+    fn eval_memoizes_shared_nodes() {
+        // Build a deep shared DAG; evaluation must terminate quickly.
+        let mut t = AtomTable::new();
+        let mut e = Expr::atom(t.fresh_tuple());
+        for _ in 0..60 {
+            let p = Expr::atom(t.fresh_txn());
+            e = Expr::plus_m(e.clone(), Expr::dot_m(e, p));
+        }
+        let v = eval(&e, &TestBool, &Valuation::constant(true));
+        assert!(v);
+    }
+
+    #[test]
+    fn valuation_default_and_override() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        let b = t.fresh_tuple();
+        let val = Valuation::constant(true).with(a, false);
+        assert!(!val.get(a));
+        assert!(val.get(b));
+        assert_eq!(val.overridden(), 1);
+    }
+
+    struct Identity;
+    impl StructureHomomorphism<TestBool, TestBool> for Identity {
+        fn apply(&self, v: &bool) -> bool {
+            *v
+        }
+    }
+
+    #[test]
+    fn homomorphism_commutes_with_eval() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let e = Expr::plus_i(Expr::atom(a), Expr::atom(p));
+        let val = Valuation::constant(true).with(a, false);
+        let mapped = map_valuation::<TestBool, TestBool, _>(&Identity, &val);
+        assert_eq!(
+            Identity.apply(&eval(&e, &TestBool, &val)),
+            eval(&e, &TestBool, &mapped)
+        );
+    }
+}
