@@ -1,0 +1,281 @@
+//! Minimal, dependency-free criterion-style benchmark harness.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `criterion` crate cannot be added as a dependency. This crate reproduces
+//! the slice of criterion we need — calibrated iteration counts, warmup,
+//! multi-sample timing with mean/median/min statistics, named comparisons,
+//! and a machine-readable JSON report — with zero dependencies, so
+//! `cargo bench` works as usual via `[[bench]] harness = false` targets.
+//! Swapping a bench file to real criterion later only changes the bench
+//! file, not the measurements' meaning (per-iteration wall-clock ns).
+//!
+//! JSON output: set `BENCHKIT_OUT=/path/to/report.json` when running
+//! `cargo bench` and the harness writes the full report there on
+//! [`Harness::finish`]; the committed `BENCH_baseline.json` at the workspace
+//! root is exactly such a report.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `arena/eval/pingpong500`.
+    pub name: String,
+    /// Iterations per timed sample (calibrated so one sample ≈ 5 ms).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Mean ns/iteration across samples.
+    pub mean_ns: f64,
+    /// Median ns/iteration across samples (the headline number).
+    pub median_ns: f64,
+    /// Fastest sample's ns/iteration.
+    pub min_ns: f64,
+}
+
+/// A named speedup derived from two benchmark medians.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Comparison name, e.g. `arena_vs_legacy/eval/pingpong500`.
+    pub name: String,
+    /// `slow.median_ns / fast.median_ns` — how many times faster.
+    pub speedup: f64,
+}
+
+/// Collects benchmark results and comparisons for one suite.
+pub struct Harness {
+    suite: String,
+    results: Vec<BenchResult>,
+    comparisons: Vec<Comparison>,
+}
+
+const TARGET_SAMPLE_NS: u128 = 5_000_000;
+const WARMUP_SAMPLES: u32 = 2;
+const MEASURED_SAMPLES: u32 = 12;
+
+/// Smoke mode (`BENCHKIT_SMOKE=1`): one short sample per bench, no warmup —
+/// an "it runs" signal for CI, where timing numbers on shared runners are
+/// noise anyway. Returns `(target_sample_ns, warmup, measured)`.
+fn run_config() -> (u128, u32, u32) {
+    if std::env::var_os("BENCHKIT_SMOKE").is_some() {
+        (200_000, 0, 1)
+    } else {
+        (TARGET_SAMPLE_NS, WARMUP_SAMPLES, MEASURED_SAMPLES)
+    }
+}
+
+impl Harness {
+    /// Creates a harness for the named suite.
+    pub fn new(suite: &str) -> Self {
+        eprintln!("benchkit suite: {suite}");
+        Harness {
+            suite: suite.to_owned(),
+            results: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark: calibrates an iteration count so a sample takes
+    /// roughly 5 ms, warms up, then times [`MEASURED_SAMPLES`] samples.
+    /// Wrap inputs/outputs in [`black_box`] inside `f` to keep the optimizer
+    /// honest.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> &BenchResult {
+        let (target_sample_ns, warmup, measured) = run_config();
+        // Discard one cold call outright (lazy allocation, cache/page
+        // faults), then calibrate by doubling the batch until one probe runs
+        // ≥ 1 ms — the estimate always comes from warmed, measurably long
+        // runs. Calibrating off the cold call would undersize every timed
+        // sample (badly so when the cold call alone exceeds the probe floor).
+        f();
+        let probe_floor_ns = 1_000_000.min(target_sample_ns);
+        let mut probe_iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..probe_iters {
+                f();
+            }
+            let elapsed = t0.elapsed().as_nanos().max(1);
+            if elapsed >= probe_floor_ns || probe_iters >= 10_000_000 {
+                break (elapsed / probe_iters as u128).max(1);
+            }
+            probe_iters *= 2;
+        };
+        let iters = ((target_sample_ns / per_iter_ns).max(1) as u64).min(10_000_000);
+        for _ in 0..warmup {
+            Self::sample(&mut f, iters);
+        }
+        let mut per_iter: Vec<f64> = (0..measured).map(|_| Self::sample(&mut f, iters)).collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter[0];
+        eprintln!(
+            "  {name:<40} median {:>12} /iter  (x{iters})",
+            fmt_ns(median)
+        );
+        self.results.push(BenchResult {
+            name: name.to_owned(),
+            iters_per_sample: iters,
+            samples: measured,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    fn sample(f: &mut impl FnMut(), iters: u64) -> f64 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed().as_nanos() as f64 / iters as f64
+    }
+
+    /// The result recorded under `name`, if any.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
+    /// Records (and prints) how many times faster `fast` is than `slow`,
+    /// by median. Panics if either name is unknown.
+    pub fn compare(&mut self, name: &str, slow: &str, fast: &str) -> f64 {
+        let slow_ns = self
+            .result(slow)
+            .unwrap_or_else(|| panic!("no bench {slow}"))
+            .median_ns;
+        let fast_ns = self
+            .result(fast)
+            .unwrap_or_else(|| panic!("no bench {fast}"))
+            .median_ns;
+        let speedup = slow_ns / fast_ns;
+        eprintln!("  {name:<40} speedup {speedup:>10.2}x  ({slow} -> {fast})");
+        self.comparisons.push(Comparison {
+            name: name.to_owned(),
+            speedup,
+        });
+        speedup
+    }
+
+    /// Serializes the full report as JSON (hand-rolled: no serde offline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        s.push_str("  \"unit\": \"ns_per_iter\",\n");
+        s.push_str("  \"benches\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                escape(&r.name),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"comparisons\": [\n");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"speedup\": {:.2}}}{}\n",
+                escape(&c.name),
+                c.speedup,
+                if i + 1 < self.comparisons.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON report to `$BENCHKIT_OUT` if that variable is set.
+    /// Call at the end of the bench `main`.
+    pub fn finish(&self) {
+        if let Ok(path) = std::env::var("BENCHKIT_OUT") {
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => eprintln!("benchkit: wrote {path}"),
+                Err(e) => eprintln!("benchkit: failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_stats() {
+        let mut h = Harness::new("selftest");
+        let mut x = 0u64;
+        h.bench("noop-ish", || {
+            x = black_box(x.wrapping_add(1));
+        });
+        let r = h.result("noop-ish").expect("recorded");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn compare_computes_ratio() {
+        let mut h = Harness::new("selftest");
+        h.results.push(BenchResult {
+            name: "slow".into(),
+            iters_per_sample: 1,
+            samples: 1,
+            mean_ns: 100.0,
+            median_ns: 100.0,
+            min_ns: 100.0,
+        });
+        h.results.push(BenchResult {
+            name: "fast".into(),
+            iters_per_sample: 1,
+            samples: 1,
+            mean_ns: 25.0,
+            median_ns: 25.0,
+            min_ns: 25.0,
+        });
+        let speedup = h.compare("ratio", "slow", "fast");
+        assert!((speedup - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = Harness::new("selftest \"quoted\"");
+        h.results.push(BenchResult {
+            name: "a/b".into(),
+            iters_per_sample: 10,
+            samples: 3,
+            mean_ns: 1.5,
+            median_ns: 1.0,
+            min_ns: 0.5,
+        });
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"selftest \\\"quoted\\\"\""));
+        assert!(json.contains("\"median_ns\": 1.0"));
+        assert!(json.ends_with("}\n"));
+    }
+}

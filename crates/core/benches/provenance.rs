@@ -1,0 +1,154 @@
+//! Provenance hot-path benchmarks: legacy `Arc`+`HashMap` representation vs
+//! the hash-consed arena.
+//!
+//! Run with `cargo bench -p uprov-core`; set `BENCHKIT_OUT=path.json` to
+//! write the machine-readable report (the committed `BENCH_baseline.json`).
+//!
+//! Workloads mirror the paper's experiments (Sections 5–6):
+//!
+//! * **pingpong** — the Proposition 5.1 modification chain whose logical
+//!   size is exponential but whose DAG is linear,
+//! * **widesum** — a single `Σ` with a large fan-in (many tuples updated
+//!   into one),
+//! * **eval_many** — "abort each transaction in turn and re-evaluate", the
+//!   repeated-valuation workload,
+//! * **deep100k** — a depth-100 000 chain; completing at all demonstrates
+//!   the iterative evaluator cannot overflow the stack.
+
+use benchkit::{black_box, Harness};
+use uprov_core::{
+    eval, eval_arena, eval_many, Atom, AtomTable, Expr, ExprArena, ExprRef, NodeId, Valuation,
+};
+use uprov_structures::Bool;
+
+/// Proposition 5.1 ping-pong chain over the legacy representation.
+fn pingpong_legacy(depth: usize, t: &mut AtomTable) -> (ExprRef, Vec<Atom>) {
+    let mut txns = Vec::with_capacity(depth);
+    let mut e1 = Expr::atom(t.fresh_tuple());
+    let mut e2 = Expr::atom(t.fresh_tuple());
+    for _ in 0..depth {
+        let p = t.fresh_txn();
+        txns.push(p);
+        let pa = Expr::atom(p);
+        let new_e2 = Expr::plus_m(e2.clone(), Expr::dot_m(e1.clone(), pa.clone()));
+        let new_e1 = Expr::minus(e1, pa);
+        e1 = new_e2;
+        e2 = new_e1;
+    }
+    (e1, txns)
+}
+
+/// The same chain built natively in the arena.
+fn pingpong_arena(depth: usize, t: &mut AtomTable, ar: &mut ExprArena) -> (NodeId, Vec<Atom>) {
+    let mut txns = Vec::with_capacity(depth);
+    let mut e1 = ar.atom(t.fresh_tuple());
+    let mut e2 = ar.atom(t.fresh_tuple());
+    for _ in 0..depth {
+        let p = t.fresh_txn();
+        txns.push(p);
+        let pa = ar.atom(p);
+        let dot = ar.dot_m(e1, pa);
+        let new_e2 = ar.plus_m(e2, dot);
+        let new_e1 = ar.minus(e1, pa);
+        e1 = new_e2;
+        e2 = new_e1;
+    }
+    (e1, txns)
+}
+
+fn main() {
+    let mut h = Harness::new("uprov-core/provenance");
+    let all_true: Valuation<bool> = Valuation::constant(true);
+
+    // --- Prop 5.1 ping-pong chain, depth 500: eval legacy vs arena. ---
+    let depth = 500;
+    let mut t = AtomTable::new();
+    let (legacy_root, _) = pingpong_legacy(depth, &mut t);
+    let mut ar = ExprArena::new();
+    let mut t2 = AtomTable::new();
+    let (arena_root, txns) = pingpong_arena(depth, &mut t2, &mut ar);
+
+    h.bench("legacy/eval/pingpong500", || {
+        black_box(eval(black_box(&legacy_root), &Bool, &all_true));
+    });
+    h.bench("arena/eval/pingpong500", || {
+        black_box(eval_arena(black_box(&ar), arena_root, &Bool, &all_true));
+    });
+    let speedup = h.compare(
+        "arena_vs_legacy/eval/pingpong500",
+        "legacy/eval/pingpong500",
+        "arena/eval/pingpong500",
+    );
+    if speedup < 2.0 {
+        eprintln!("WARNING: arena eval speedup {speedup:.2}x below the 2x acceptance floor");
+    }
+
+    // --- Construction cost of the same chain (interning is not free). ---
+    h.bench("legacy/build/pingpong500", || {
+        let mut tt = AtomTable::new();
+        black_box(pingpong_legacy(depth, &mut tt));
+    });
+    h.bench("arena/build/pingpong500", || {
+        let mut tt = AtomTable::new();
+        let mut aa = ExprArena::new();
+        black_box(pingpong_arena(depth, &mut tt, &mut aa));
+    });
+
+    // --- Wide Σ fan-in: 10 000 tuples updated into one. ---
+    let fanin = 10_000;
+    let mut t3 = AtomTable::new();
+    let legacy_sum = Expr::sum((0..fanin).map(|_| Expr::atom(t3.fresh_tuple())));
+    let mut ar_sum = ExprArena::new();
+    let mut t4 = AtomTable::new();
+    let leaves: Vec<NodeId> = (0..fanin).map(|_| ar_sum.atom(t4.fresh_tuple())).collect();
+    let arena_sum = ar_sum.sum(leaves);
+
+    h.bench("legacy/eval/widesum10k", || {
+        black_box(eval(black_box(&legacy_sum), &Bool, &all_true));
+    });
+    h.bench("arena/eval/widesum10k", || {
+        black_box(eval_arena(black_box(&ar_sum), arena_sum, &Bool, &all_true));
+    });
+    h.compare(
+        "arena_vs_legacy/eval/widesum10k",
+        "legacy/eval/widesum10k",
+        "arena/eval/widesum10k",
+    );
+
+    // --- Repeated valuations: abort each of 64 transactions in turn. ---
+    let vals: Vec<Valuation<bool>> = txns
+        .iter()
+        .take(64)
+        .map(|&p| Valuation::constant(true).with(p, false))
+        .collect();
+    h.bench("arena/eval_loop/64vals", || {
+        for v in &vals {
+            black_box(eval_arena(&ar, arena_root, &Bool, v));
+        }
+    });
+    h.bench("arena/eval_many/64vals", || {
+        black_box(eval_many(&ar, arena_root, &Bool, &vals));
+    });
+    h.compare(
+        "eval_many_vs_eval_loop/64vals",
+        "arena/eval_loop/64vals",
+        "arena/eval_many/64vals",
+    );
+
+    // --- Depth-100k chain: iterative evaluation cannot overflow. ---
+    let mut t5 = AtomTable::new();
+    let mut ar_deep = ExprArena::new();
+    let mut deep = ar_deep.atom(t5.fresh_tuple());
+    for _ in 0..100_000 {
+        let p = ar_deep.atom(t5.fresh_txn());
+        deep = ar_deep.minus(deep, p);
+    }
+    h.bench("arena/eval/deep100k", || {
+        black_box(eval_arena(black_box(&ar_deep), deep, &Bool, &all_true));
+    });
+    h.bench("arena/analyze/deep100k", || {
+        black_box(ar_deep.analyze(deep));
+    });
+
+    h.finish();
+}

@@ -1,0 +1,561 @@
+//! Hash-consed expression arena: the maximally-shared DAG representation.
+//!
+//! The paper's central performance observation (Section 5, Proposition 5.1)
+//! is that naive `UP[X]` provenance has *logical* size exponential in the
+//! transaction length but stays tractable when materialized as a shared DAG.
+//! The `Arc`-based [`Expr`](crate::expr::Expr) only shares what the caller
+//! happens to share through pointers; this module guarantees **maximal**
+//! sharing by hash-consing: every node is interned into a contiguous
+//! [`Vec<Node>`] keyed by a dense [`NodeId`], and a hash-cons map ensures
+//! structurally equal expressions always receive the same id.
+//!
+//! Consequences exploited throughout the crate:
+//!
+//! * structural equality is an integer comparison (`NodeId: Eq`),
+//! * children are interned before parents, so the node vector is
+//!   **topologically ordered** and every analysis is a single bottom-up
+//!   sweep over a dense vector — no recursion, no pointer-keyed maps,
+//! * evaluation memoizes into a `Vec<Option<V>>` indexed by `NodeId`
+//!   (see [`crate::structure::eval_arena`] and
+//!   [`crate::structure::eval_many`]).
+//!
+//! The zero axioms of Section 3.1 are applied at intern time by the smart
+//! constructors ([`ExprArena::plus_i`], [`ExprArena::minus`], …), mirroring
+//! the legacy smart constructors, so `0` never appears as an operand and `Σ`
+//! is always flat, zero-free and non-trivial (length ≥ 2).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::atom::Atom;
+use crate::expr::{Expr, ExprRef};
+
+/// Dense handle of an interned node. Ids are assigned contiguously from 0;
+/// [`ExprArena::ZERO`] is always id 0. Children always have smaller ids than
+/// their parents (topological order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw arena index, for dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The four binary operators of the algebra (Section 3.1). `Σ` is n-ary and
+/// carried by [`Node::Sum`]; `0` and atoms are leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `a +I b` — insertion.
+    PlusI,
+    /// `a − b` — deletion (also modification pre-image; `−D = −M`).
+    Minus,
+    /// `a +M b` — modification post-image accumulation.
+    PlusM,
+    /// `a ·M b` — tuple `a` updated by query `b`.
+    DotM,
+}
+
+/// An interned expression node. Canonical by construction: no `Zero`
+/// operands, `Sum` is flat with ≥ 2 zero-free terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The distinguished `0`.
+    Zero,
+    /// A basic annotation from `X`.
+    Atom(Atom),
+    /// One of the four binary operations.
+    Bin(BinOp, NodeId, NodeId),
+    /// `Σ` over ≥ 2 terms.
+    Sum(Box<[NodeId]>),
+}
+
+/// Size/depth statistics for one root, computed by [`ExprArena::analyze`] in
+/// a single bottom-up pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Tree size counting shared nodes with multiplicity (the paper's
+    /// provenance-size metric, exponential for Prop 5.1 chains). Saturating.
+    pub logical_size: u128,
+    /// Number of distinct reachable nodes.
+    pub dag_size: usize,
+    /// DAG depth; a leaf has depth 1.
+    pub depth: usize,
+}
+
+/// A hash-consing arena for `UP[X]` expressions.
+#[derive(Debug, Clone)]
+pub struct ExprArena {
+    nodes: Vec<Node>,
+    interned: HashMap<Node, NodeId>,
+}
+
+/// Same as [`ExprArena::new`] — `0` is pre-interned at id 0. (A derived
+/// `Default` would skip that and violate the `ZERO`-at-id-0 invariant every
+/// smart constructor relies on.)
+impl Default for ExprArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExprArena {
+    /// The id of the distinguished `0`, interned at construction.
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// Creates an arena containing only `0`.
+    pub fn new() -> Self {
+        let mut arena = ExprArena {
+            nodes: Vec::new(),
+            interned: HashMap::new(),
+        };
+        let zero = arena.intern(Node::Zero);
+        debug_assert_eq!(zero, Self::ZERO);
+        arena
+    }
+
+    /// Number of interned nodes (≥ 1: `0` is always present).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena holds no nodes. Never true for arenas created with
+    /// [`ExprArena::new`], which pre-intern `0`.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// True if `id` is the `0` constant.
+    #[inline]
+    pub fn is_zero(&self, id: NodeId) -> bool {
+        id == Self::ZERO
+    }
+
+    fn intern(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.interned.get(&node) {
+            return id;
+        }
+        assert!(self.nodes.len() < u32::MAX as usize, "arena full");
+        let id = NodeId(self.nodes.len() as u32);
+        self.interned.insert(node.clone(), id);
+        self.nodes.push(node);
+        id
+    }
+
+    /// The `0` constant.
+    #[inline]
+    pub fn zero(&self) -> NodeId {
+        Self::ZERO
+    }
+
+    /// An atom leaf.
+    pub fn atom(&mut self, a: Atom) -> NodeId {
+        self.intern(Node::Atom(a))
+    }
+
+    /// `a +I b`, with the zero axioms `0 +I a = a` and `a +I 0 = a` applied.
+    pub fn plus_i(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (a == Self::ZERO, b == Self::ZERO) {
+            (_, true) => a,
+            (true, false) => b,
+            _ => self.intern(Node::Bin(BinOp::PlusI, a, b)),
+        }
+    }
+
+    /// `a − b`, with the zero axioms `0 − a = 0` and `a − 0 = a` applied.
+    pub fn minus(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if b == Self::ZERO {
+            a
+        } else if a == Self::ZERO {
+            Self::ZERO
+        } else {
+            self.intern(Node::Bin(BinOp::Minus, a, b))
+        }
+    }
+
+    /// `a +M b`, with the zero axioms `0 +M a = a` and `a +M 0 = a` applied.
+    pub fn plus_m(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (a == Self::ZERO, b == Self::ZERO) {
+            (_, true) => a,
+            (true, false) => b,
+            _ => self.intern(Node::Bin(BinOp::PlusM, a, b)),
+        }
+    }
+
+    /// `a ·M b`, with the zero axiom `a ·M 0 = 0 ·M a = 0` applied.
+    pub fn dot_m(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == Self::ZERO || b == Self::ZERO {
+            Self::ZERO
+        } else {
+            self.intern(Node::Bin(BinOp::DotM, a, b))
+        }
+    }
+
+    /// Dispatches one of the four binary smart constructors.
+    pub fn bin(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        match op {
+            BinOp::PlusI => self.plus_i(a, b),
+            BinOp::Minus => self.minus(a, b),
+            BinOp::PlusM => self.plus_m(a, b),
+            BinOp::DotM => self.dot_m(a, b),
+        }
+    }
+
+    /// `Σ terms`: zeros are dropped, nested sums flattened, an empty sum is
+    /// `0` and a singleton sum the term itself. Interned terms are already
+    /// canonical, so flattening never needs to recurse.
+    pub fn sum(&mut self, terms: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut flat: Vec<NodeId> = Vec::new();
+        for t in terms {
+            if t == Self::ZERO {
+                continue;
+            }
+            match &self.nodes[t.index()] {
+                Node::Sum(inner) => flat.extend_from_slice(inner),
+                _ => flat.push(t),
+            }
+        }
+        match flat.len() {
+            0 => Self::ZERO,
+            1 => flat[0],
+            _ => self.intern(Node::Sum(flat.into_boxed_slice())),
+        }
+    }
+
+    /// Interns a legacy `Arc` expression, returning the id of its maximally
+    /// shared image. Iterative (explicit work stack): safe on chains of any
+    /// depth. Pointer-shared legacy subtrees are visited once; structurally
+    /// equal but pointer-distinct subtrees collapse onto one id.
+    pub fn import(&mut self, expr: &ExprRef) -> NodeId {
+        let mut memo: HashMap<*const Expr, NodeId> = HashMap::new();
+        let mut stack: Vec<&ExprRef> = vec![expr];
+        while let Some(&e) = stack.last() {
+            let key = Arc::as_ptr(e);
+            if memo.contains_key(&key) {
+                stack.pop();
+                continue;
+            }
+            if crate::expr::push_missing_children(e, &memo, &mut stack) {
+                continue;
+            }
+            let id = match &**e {
+                Expr::Zero => Self::ZERO,
+                Expr::Atom(a) => self.atom(*a),
+                Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                    let op = match &**e {
+                        Expr::PlusI(..) => BinOp::PlusI,
+                        Expr::Minus(..) => BinOp::Minus,
+                        Expr::PlusM(..) => BinOp::PlusM,
+                        _ => BinOp::DotM,
+                    };
+                    let (ia, ib) = (memo[&Arc::as_ptr(a)], memo[&Arc::as_ptr(b)]);
+                    self.bin(op, ia, ib)
+                }
+                Expr::Sum(ts) => {
+                    let ids: Vec<NodeId> = ts.iter().map(|t| memo[&Arc::as_ptr(t)]).collect();
+                    self.sum(ids)
+                }
+            };
+            memo.insert(key, id);
+            stack.pop();
+        }
+        memo[&Arc::as_ptr(expr)]
+    }
+
+    /// Rebuilds the legacy `Arc` representation of `root`. Lossless up to
+    /// sharing: the result is a pointer-shared DAG with one `Arc` per
+    /// reachable arena node, and `import(export(id)) == id` (interning is
+    /// idempotent because interned nodes are already canonical).
+    pub fn export(&self, root: NodeId) -> ExprRef {
+        let reachable = self.reachable(root);
+        let mut out: Vec<Option<ExprRef>> = vec![None; root.index() + 1];
+        for (i, node) in self.nodes.iter().enumerate().take(root.index() + 1) {
+            if !reachable[i] {
+                continue;
+            }
+            let take = |id: &NodeId| out[id.index()].clone().expect("topological order");
+            let e = match node {
+                Node::Zero => Expr::zero(),
+                Node::Atom(a) => Expr::atom(*a),
+                Node::Bin(BinOp::PlusI, a, b) => Expr::plus_i(take(a), take(b)),
+                Node::Bin(BinOp::Minus, a, b) => Expr::minus(take(a), take(b)),
+                Node::Bin(BinOp::PlusM, a, b) => Expr::plus_m(take(a), take(b)),
+                Node::Bin(BinOp::DotM, a, b) => Expr::dot_m(take(a), take(b)),
+                Node::Sum(ts) => Expr::sum(ts.iter().map(take)),
+            };
+            out[i] = Some(e);
+        }
+        out[root.index()].clone().expect("root is reachable")
+    }
+
+    /// Marks the nodes reachable from `root`; `result[i]` is true iff
+    /// `NodeId(i)` (for `i ≤ root`) occurs in the DAG under `root`.
+    /// Iterative DFS with an explicit stack.
+    pub fn reachable(&self, root: NodeId) -> Vec<bool> {
+        let mut marked = vec![false; root.index() + 1];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut marked[id.index()], true) {
+                continue;
+            }
+            match &self.nodes[id.index()] {
+                Node::Zero | Node::Atom(_) => {}
+                Node::Bin(_, a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Sum(ts) => stack.extend_from_slice(ts),
+            }
+        }
+        marked
+    }
+
+    /// Ids reachable from `root` in ascending (hence topological) order:
+    /// every child precedes its parents. This is the evaluation schedule
+    /// reused by [`crate::structure::eval_many`].
+    pub fn topo_order(&self, root: NodeId) -> Vec<NodeId> {
+        self.reachable(root)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Computes [`NodeStats`] for `root` in one bottom-up sweep over the
+    /// topologically ordered node vector (plus one reachability marking).
+    pub fn analyze(&self, root: NodeId) -> NodeStats {
+        let reachable = self.reachable(root);
+        let n = root.index() + 1;
+        let mut logical = vec![0u128; n];
+        let mut depth = vec![0usize; n];
+        let mut dag_size = 0usize;
+        for (i, node) in self.nodes.iter().enumerate().take(n) {
+            if !reachable[i] {
+                continue;
+            }
+            dag_size += 1;
+            let (l, d) = match node {
+                Node::Zero | Node::Atom(_) => (1, 1),
+                Node::Bin(_, a, b) => (
+                    logical[a.index()]
+                        .saturating_add(logical[b.index()])
+                        .saturating_add(1),
+                    1 + depth[a.index()].max(depth[b.index()]),
+                ),
+                Node::Sum(ts) => (
+                    ts.iter()
+                        .fold(1u128, |acc, t| acc.saturating_add(logical[t.index()])),
+                    1 + ts.iter().map(|t| depth[t.index()]).max().unwrap_or(0),
+                ),
+            };
+            logical[i] = l;
+            depth[i] = d;
+        }
+        NodeStats {
+            logical_size: logical[root.index()],
+            dag_size,
+            depth: depth[root.index()],
+        }
+    }
+
+    /// Logical (tree) size of `root`; see [`NodeStats::logical_size`].
+    pub fn logical_size(&self, root: NodeId) -> u128 {
+        self.analyze(root).logical_size
+    }
+
+    /// Number of distinct nodes reachable from `root`.
+    pub fn dag_size(&self, root: NodeId) -> usize {
+        self.analyze(root).dag_size
+    }
+
+    /// Depth of `root`'s DAG (a leaf has depth 1).
+    pub fn depth(&self, root: NodeId) -> usize {
+        self.analyze(root).depth
+    }
+
+    /// Atoms occurring under `root`, deduplicated, in first-occurrence
+    /// (preorder, left-to-right) order — the same order the legacy
+    /// [`Expr::atoms`](crate::expr::Expr) reports.
+    pub fn atoms(&self, root: NodeId) -> Vec<Atom> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; root.index() + 1];
+        let mut seen_atoms: HashSet<Atom> = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut visited[id.index()], true) {
+                continue;
+            }
+            match &self.nodes[id.index()] {
+                Node::Zero => {}
+                Node::Atom(a) => {
+                    if seen_atoms.insert(*a) {
+                        out.push(*a);
+                    }
+                }
+                Node::Bin(_, a, b) => {
+                    stack.push(*b);
+                    stack.push(*a);
+                }
+                Node::Sum(ts) => stack.extend(ts.iter().rev()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomTable;
+
+    fn setup() -> (AtomTable, ExprArena) {
+        (AtomTable::new(), ExprArena::new())
+    }
+
+    #[test]
+    fn hash_consing_dedups_structural_equality() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let e1 = ar.plus_i(a, p);
+        let e2 = ar.plus_i(a, p);
+        assert_eq!(e1, e2, "same structure ⇒ same id");
+        assert_eq!(ar.len(), 4, "0, a, p, a +I p");
+    }
+
+    #[test]
+    fn zero_axioms_applied_at_intern_time() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let z = ar.zero();
+        assert_eq!(ar.plus_i(z, a), a);
+        assert_eq!(ar.plus_i(a, z), a);
+        assert_eq!(ar.minus(z, a), z);
+        assert_eq!(ar.minus(a, z), a);
+        assert_eq!(ar.plus_m(z, a), a);
+        assert_eq!(ar.plus_m(a, z), a);
+        assert_eq!(ar.dot_m(a, z), z);
+        assert_eq!(ar.dot_m(z, a), z);
+        assert_eq!(ar.len(), 2, "no new nodes were interned");
+    }
+
+    #[test]
+    fn sum_canonicalization() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let b = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        assert_eq!(ar.sum([]), ExprArena::ZERO);
+        assert_eq!(ar.sum([a, ar.zero()]), a, "singleton collapses");
+        let inner = ar.sum([a, b]);
+        let s = ar.sum([inner, p, ar.zero()]);
+        match ar.node(s) {
+            Node::Sum(ts) => assert_eq!(ts.len(), 3, "nested sum flattened, zero dropped"),
+            other => panic!("expected sum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_match_legacy_on_shared_example() {
+        // a +M (a ·M p): logical 5, dag 4, depth 3 — as in the expr.rs test.
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let dot = ar.dot_m(a, p);
+        let e = ar.plus_m(a, dot);
+        let stats = ar.analyze(e);
+        assert_eq!(stats.logical_size, 5);
+        assert_eq!(stats.dag_size, 4);
+        assert_eq!(stats.depth, 3);
+    }
+
+    #[test]
+    fn pingpong_logical_size_saturates_dag_stays_linear() {
+        let (mut t, mut ar) = setup();
+        let mut e1 = ar.atom(t.fresh_tuple());
+        let mut e2 = ar.atom(t.fresh_tuple());
+        for _ in 0..200 {
+            let p = ar.atom(t.fresh_txn());
+            let dot = ar.dot_m(e1, p);
+            let new_e2 = ar.plus_m(e2, dot);
+            let new_e1 = ar.minus(e1, p);
+            e1 = new_e2;
+            e2 = new_e1;
+        }
+        assert_eq!(ar.logical_size(e1), u128::MAX, "saturated ⇒ astronomical");
+        assert!(ar.dag_size(e1) < 2000, "but the DAG stays linear");
+    }
+
+    #[test]
+    fn import_export_roundtrip_example_3_2() {
+        let mut t = AtomTable::new();
+        let p1 = t.named("p1", crate::atom::AtomKind::Tuple);
+        let p3 = t.named("p3", crate::atom::AtomKind::Tuple);
+        let p = t.named("p", crate::atom::AtomKind::Txn);
+        let legacy = Expr::minus(
+            Expr::plus_m(Expr::atom(p1), Expr::dot_m(Expr::atom(p3), Expr::atom(p))),
+            Expr::atom(p),
+        );
+        let mut ar = ExprArena::new();
+        let id = ar.import(&legacy);
+        let back = ar.export(id);
+        assert_eq!(*back, *legacy, "export is lossless");
+        assert_eq!(ar.import(&back), id, "interning is idempotent");
+        assert_eq!(format!("{}", back.display(&t)), "(p1 +M (p3 .M p)) - p");
+    }
+
+    #[test]
+    fn import_collapses_pointer_distinct_duplicates() {
+        let mut t = AtomTable::new();
+        let x = t.fresh_tuple();
+        let p = t.fresh_txn();
+        // Two pointer-distinct but structurally equal subtrees.
+        let left = Expr::dot_m(Expr::atom(x), Expr::atom(p));
+        let right = Expr::dot_m(Expr::atom(x), Expr::atom(p));
+        let e = Expr::plus_m(left, right);
+        assert_eq!(e.dag_size(), 7, "legacy DAG does not share them");
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        assert_eq!(ar.dag_size(id), 4, "arena shares them maximally");
+    }
+
+    #[test]
+    fn atoms_first_occurrence_order_matches_legacy() {
+        let mut t = AtomTable::new();
+        let a = t.fresh_tuple();
+        let b = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let legacy = Expr::plus_m(
+            Expr::atom(a),
+            Expr::dot_m(Expr::sum([Expr::atom(a), Expr::atom(b)]), Expr::atom(p)),
+        );
+        let mut ar = ExprArena::new();
+        let id = ar.import(&legacy);
+        assert_eq!(ar.atoms(id), legacy.atoms());
+        assert_eq!(ar.atoms(id), vec![a, b, p]);
+    }
+
+    #[test]
+    fn topo_order_children_precede_parents() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let dot = ar.dot_m(a, p);
+        let root = ar.plus_m(a, dot);
+        let order = ar.topo_order(root);
+        assert_eq!(*order.last().expect("non-empty"), root);
+        for (pos, id) in order.iter().enumerate() {
+            if let Node::Bin(_, x, y) = ar.node(*id) {
+                assert!(order[..pos].contains(x) && order[..pos].contains(y));
+            }
+        }
+    }
+}

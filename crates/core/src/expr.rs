@@ -1,4 +1,4 @@
-//! Symbolic `UP[X]` provenance expressions.
+//! Symbolic `UP[X]` provenance expressions (legacy `Arc` representation).
 //!
 //! Expressions are built from atoms and the distinguished `0` using the five
 //! abstract operations of the paper (Section 3.1):
@@ -13,18 +13,30 @@
 //! Sub-expressions are shared through [`Arc`], so the *naive* provenance
 //! construction of Section 5.1 — whose logical size is exponential in the
 //! transaction length (Proposition 5.1) — stays materializable as a DAG.
-//! [`Expr::logical_size`] reports the tree size (counting shared nodes with
-//! multiplicity, saturating), which is the quantity the paper's experiments
-//! measure; [`Expr::dag_size`] reports distinct nodes.
+//! Sharing is **by pointer only**: structurally equal subtrees built
+//! independently are not shared. The hash-consed
+//! [`ExprArena`](crate::arena::ExprArena) guarantees maximal sharing and is
+//! the hot-path representation; this module is the convenient
+//! builder/compatibility layer, bridged losslessly by
+//! [`import`](crate::arena::ExprArena::import) /
+//! [`export`](crate::arena::ExprArena::export).
+//!
+//! All traversals here ([`Expr::logical_size`], [`Expr::dag_size`],
+//! [`Expr::depth`], [`Expr::atoms`], the [`Display`](DisplayExpr)
+//! pretty-printer) and the destructor are **iterative** with explicit
+//! stacks, so chains hundreds of thousands of nodes deep neither traverse
+//! nor drop recursively. (The `derive`d `PartialEq`/`Hash`/`Debug` remain
+//! recursive; prefer arena [`NodeId`](crate::arena::NodeId) comparison for
+//! deep expressions.)
 //!
 //! The *zero-related axioms* of Section 3.1 are applied eagerly by the smart
 //! constructors ([`Expr::plus_i`], [`Expr::minus`], …); they are part of the
 //! base structure, not of the equivalence axioms of Figure 3 (which are the
-//! subject of [`crate::rewrite`] and [`crate::nf`]).
+//! subject of the planned `rewrite` / `nf` modules — see `ROADMAP.md`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::atom::{Atom, AtomTable};
 
@@ -60,10 +72,8 @@ pub enum Expr {
 impl Expr {
     /// The shared `0` constant.
     pub fn zero() -> ExprRef {
-        thread_local! {
-            static ZERO: ExprRef = Arc::new(Expr::Zero);
-        }
-        ZERO.with(Arc::clone)
+        static ZERO: OnceLock<ExprRef> = OnceLock::new();
+        ZERO.get_or_init(|| Arc::new(Expr::Zero)).clone()
     }
 
     /// An atom leaf.
@@ -129,110 +139,133 @@ impl Expr {
         matches!(self, Expr::Zero)
     }
 
+    /// Moves this node's *interior* children onto `stack`, leaving cheap `0`
+    /// leaves (or a shortened term list) behind. Leaf children are left in
+    /// place — their drop glue is trivially non-recursive — so a drained
+    /// husk (all children leaves) tears down without touching `stack`, and
+    /// the destructor's fast path stays allocation-free. Used by the
+    /// iterative destructor.
+    fn drain_children(&mut self, stack: &mut Vec<ExprRef>) {
+        let is_leaf = |e: &ExprRef| matches!(&**e, Expr::Zero | Expr::Atom(_));
+        match self {
+            Expr::Zero | Expr::Atom(_) => {}
+            Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                if !is_leaf(a) {
+                    stack.push(std::mem::replace(a, Expr::zero()));
+                }
+                if !is_leaf(b) {
+                    stack.push(std::mem::replace(b, Expr::zero()));
+                }
+            }
+            Expr::Sum(ts) => stack.extend(ts.drain(..).filter(|t| !is_leaf(t))),
+        }
+    }
+
     /// Logical (tree) size: the number of nodes when shared sub-expressions
     /// are counted with multiplicity. This is the provenance-size metric of
     /// the paper's experiments and the quantity that blows up exponentially
     /// for the naive construction (Proposition 5.1). Saturates at
     /// `u128::MAX`.
     pub fn logical_size(self: &ExprRef) -> u128 {
-        fn go(e: &ExprRef, memo: &mut HashMap<*const Expr, u128>) -> u128 {
+        let mut memo: HashMap<*const Expr, u128> = HashMap::new();
+        let mut stack: Vec<&ExprRef> = vec![self];
+        while let Some(&e) = stack.last() {
             let key = Arc::as_ptr(e);
-            if let Some(&s) = memo.get(&key) {
-                return s;
+            if memo.contains_key(&key) {
+                stack.pop();
+                continue;
             }
+            if push_missing_children(e, &memo, &mut stack) {
+                continue;
+            }
+            let size = |c: &ExprRef| memo[&Arc::as_ptr(c)];
             let s = match &**e {
                 Expr::Zero | Expr::Atom(_) => 1,
-                Expr::PlusI(a, b)
-                | Expr::Minus(a, b)
-                | Expr::PlusM(a, b)
-                | Expr::DotM(a, b) => go(a, memo).saturating_add(go(b, memo)).saturating_add(1),
-                Expr::Sum(ts) => ts
-                    .iter()
-                    .fold(1u128, |acc, t| acc.saturating_add(go(t, memo))),
+                Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                    size(a).saturating_add(size(b)).saturating_add(1)
+                }
+                Expr::Sum(ts) => ts.iter().fold(1u128, |acc, t| acc.saturating_add(size(t))),
             };
             memo.insert(key, s);
-            s
+            stack.pop();
         }
-        go(self, &mut HashMap::new())
+        memo[&Arc::as_ptr(self)]
     }
 
-    /// Number of *distinct* nodes in the shared DAG.
+    /// Number of *distinct* nodes in the pointer-shared DAG.
     pub fn dag_size(self: &ExprRef) -> usize {
-        fn go(e: &ExprRef, seen: &mut HashMap<*const Expr, ()>) -> usize {
-            let key = Arc::as_ptr(e);
-            if seen.insert(key, ()).is_some() {
-                return 0;
+        let mut seen: HashSet<*const Expr> = HashSet::new();
+        let mut stack: Vec<&ExprRef> = vec![self];
+        let mut count = 0;
+        while let Some(e) = stack.pop() {
+            if !seen.insert(Arc::as_ptr(e)) {
+                continue;
             }
-            1 + match &**e {
-                Expr::Zero | Expr::Atom(_) => 0,
-                Expr::PlusI(a, b)
-                | Expr::Minus(a, b)
-                | Expr::PlusM(a, b)
-                | Expr::DotM(a, b) => go(a, seen) + go(b, seen),
-                Expr::Sum(ts) => ts.iter().map(|t| go(t, seen)).sum(),
+            count += 1;
+            match &**e {
+                Expr::Zero | Expr::Atom(_) => {}
+                Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Expr::Sum(ts) => stack.extend(ts.iter()),
             }
         }
-        go(self, &mut HashMap::new())
+        count
     }
 
     /// Depth of the expression DAG (a leaf has depth 1).
     pub fn depth(self: &ExprRef) -> usize {
-        fn go(e: &ExprRef, memo: &mut HashMap<*const Expr, usize>) -> usize {
+        let mut memo: HashMap<*const Expr, usize> = HashMap::new();
+        let mut stack: Vec<&ExprRef> = vec![self];
+        while let Some(&e) = stack.last() {
             let key = Arc::as_ptr(e);
-            if let Some(&d) = memo.get(&key) {
-                return d;
+            if memo.contains_key(&key) {
+                stack.pop();
+                continue;
             }
+            if push_missing_children(e, &memo, &mut stack) {
+                continue;
+            }
+            let dep = |c: &ExprRef| memo[&Arc::as_ptr(c)];
             let d = match &**e {
                 Expr::Zero | Expr::Atom(_) => 1,
-                Expr::PlusI(a, b)
-                | Expr::Minus(a, b)
-                | Expr::PlusM(a, b)
-                | Expr::DotM(a, b) => 1 + go(a, memo).max(go(b, memo)),
-                Expr::Sum(ts) => 1 + ts.iter().map(|t| go(t, memo)).max().unwrap_or(0),
+                Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                    1 + dep(a).max(dep(b))
+                }
+                Expr::Sum(ts) => 1 + ts.iter().map(dep).max().unwrap_or(0),
             };
             memo.insert(key, d);
-            d
+            stack.pop();
         }
-        go(self, &mut HashMap::new())
+        memo[&Arc::as_ptr(self)]
     }
 
     /// Collects the atoms occurring in the expression, deduplicated, in
-    /// first-occurrence order.
+    /// first-occurrence (preorder, left-to-right) order.
     pub fn atoms(self: &ExprRef) -> Vec<Atom> {
         let mut out = Vec::new();
-        let mut seen_nodes: HashMap<*const Expr, ()> = HashMap::new();
-        let mut seen_atoms: HashMap<Atom, ()> = HashMap::new();
-        fn go(
-            e: &ExprRef,
-            out: &mut Vec<Atom>,
-            seen_nodes: &mut HashMap<*const Expr, ()>,
-            seen_atoms: &mut HashMap<Atom, ()>,
-        ) {
-            if seen_nodes.insert(Arc::as_ptr(e), ()).is_some() {
-                return;
+        let mut seen_nodes: HashSet<*const Expr> = HashSet::new();
+        let mut seen_atoms: HashSet<Atom> = HashSet::new();
+        let mut stack: Vec<&ExprRef> = vec![self];
+        while let Some(e) = stack.pop() {
+            if !seen_nodes.insert(Arc::as_ptr(e)) {
+                continue;
             }
             match &**e {
                 Expr::Zero => {}
                 Expr::Atom(a) => {
-                    if seen_atoms.insert(*a, ()).is_none() {
+                    if seen_atoms.insert(*a) {
                         out.push(*a);
                     }
                 }
-                Expr::PlusI(a, b)
-                | Expr::Minus(a, b)
-                | Expr::PlusM(a, b)
-                | Expr::DotM(a, b) => {
-                    go(a, out, seen_nodes, seen_atoms);
-                    go(b, out, seen_nodes, seen_atoms);
+                Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
                 }
-                Expr::Sum(ts) => {
-                    for t in ts {
-                        go(t, out, seen_nodes, seen_atoms);
-                    }
-                }
+                Expr::Sum(ts) => stack.extend(ts.iter().rev()),
             }
         }
-        go(self, &mut out, &mut seen_nodes, &mut seen_atoms);
         out
     }
 
@@ -243,69 +276,118 @@ impl Expr {
     }
 }
 
+/// Pushes the children of `e` whose values are not yet memoized; returns
+/// true if any were pushed (i.e. `e` must be revisited later). Shared with
+/// the arena's [`import`](crate::arena::ExprArena::import) traversal.
+pub(crate) fn push_missing_children<'a, T>(
+    e: &'a ExprRef,
+    memo: &HashMap<*const Expr, T>,
+    stack: &mut Vec<&'a ExprRef>,
+) -> bool {
+    let mut missing = false;
+    let mut need = |c: &'a ExprRef| {
+        if !memo.contains_key(&Arc::as_ptr(c)) {
+            stack.push(c);
+            missing = true;
+        }
+    };
+    match &**e {
+        Expr::Zero | Expr::Atom(_) => {}
+        Expr::PlusI(a, b) | Expr::Minus(a, b) | Expr::PlusM(a, b) | Expr::DotM(a, b) => {
+            need(a);
+            need(b);
+        }
+        Expr::Sum(ts) => ts.iter().for_each(&mut need),
+    }
+    missing
+}
+
+/// Iterative destructor: tears the DAG down with an explicit stack so that
+/// dropping the last reference to a deep chain cannot overflow the call
+/// stack (the `derive`d drop glue would recurse once per level).
+impl Drop for Expr {
+    fn drop(&mut self) {
+        if matches!(self, Expr::Zero | Expr::Atom(_)) {
+            return;
+        }
+        let mut stack: Vec<ExprRef> = Vec::new();
+        self.drain_children(&mut stack);
+        while let Some(mut node) = stack.pop() {
+            // Only the last owner tears a child apart; shared children are
+            // just a refcount decrement when `node` drops below.
+            if let Some(inner) = Arc::get_mut(&mut node) {
+                inner.drain_children(&mut stack);
+            }
+        }
+    }
+}
+
 /// Pretty-printer for [`Expr`], produced by [`Expr::display`].
 ///
 /// The output mirrors the paper's notation, e.g.
-/// `(p1 +M (p3 .M p)) - p`.
+/// `(p1 +M (p3 .M p)) - p`. Rendering is iterative (explicit frame stack),
+/// so arbitrarily deep expressions format without recursion.
 pub struct DisplayExpr<'a> {
     expr: &'a ExprRef,
     table: &'a AtomTable,
 }
 
+enum Frame<'a> {
+    Expr(&'a Expr, bool),
+    Lit(&'static str),
+}
+
 impl fmt::Display for DisplayExpr<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write_expr(self.expr, self.table, f, false)
-    }
-}
-
-fn write_expr(
-    e: &Expr,
-    t: &AtomTable,
-    f: &mut fmt::Formatter<'_>,
-    parens: bool,
-) -> fmt::Result {
-    match e {
-        Expr::Zero => write!(f, "0"),
-        Expr::Atom(a) => write!(f, "{}", t.name(*a)),
-        Expr::Sum(ts) => {
-            if parens {
-                write!(f, "(")?;
-            }
-            for (i, term) in ts.iter().enumerate() {
-                if i > 0 {
-                    write!(f, " + ")?;
+        let mut stack: Vec<Frame> = vec![Frame::Expr(self.expr, false)];
+        while let Some(frame) = stack.pop() {
+            let (e, parens) = match frame {
+                Frame::Lit(s) => {
+                    f.write_str(s)?;
+                    continue;
                 }
-                write_expr(term, t, f, true)?;
+                Frame::Expr(e, parens) => (e, parens),
+            };
+            match e {
+                Expr::Zero => f.write_str("0")?,
+                Expr::Atom(a) => f.write_str(self.table.name(*a))?,
+                Expr::Sum(ts) => {
+                    if parens {
+                        f.write_str("(")?;
+                        stack.push(Frame::Lit(")"));
+                    }
+                    for (i, term) in ts.iter().enumerate().rev() {
+                        stack.push(Frame::Expr(term, true));
+                        if i > 0 {
+                            stack.push(Frame::Lit(" + "));
+                        }
+                    }
+                }
+                Expr::PlusI(a, b) => push_binop(&mut stack, f, a, " +I ", b, parens)?,
+                Expr::Minus(a, b) => push_binop(&mut stack, f, a, " - ", b, parens)?,
+                Expr::PlusM(a, b) => push_binop(&mut stack, f, a, " +M ", b, parens)?,
+                Expr::DotM(a, b) => push_binop(&mut stack, f, a, " .M ", b, parens)?,
             }
-            if parens {
-                write!(f, ")")?;
-            }
-            Ok(())
         }
-        Expr::PlusI(a, b) => write_binop(a, "+I", b, t, f, parens),
-        Expr::Minus(a, b) => write_binop(a, "-", b, t, f, parens),
-        Expr::PlusM(a, b) => write_binop(a, "+M", b, t, f, parens),
-        Expr::DotM(a, b) => write_binop(a, ".M", b, t, f, parens),
+        Ok(())
     }
 }
 
-fn write_binop(
-    a: &Expr,
-    op: &str,
-    b: &Expr,
-    t: &AtomTable,
+fn push_binop<'a>(
+    stack: &mut Vec<Frame<'a>>,
     f: &mut fmt::Formatter<'_>,
+    a: &'a Expr,
+    op: &'static str,
+    b: &'a Expr,
     parens: bool,
 ) -> fmt::Result {
     if parens {
-        write!(f, "(")?;
+        f.write_str("(")?;
+        stack.push(Frame::Lit(")"));
     }
-    write_expr(a, t, f, true)?;
-    write!(f, " {op} ")?;
-    write_expr(b, t, f, true)?;
-    if parens {
-        write!(f, ")")?;
-    }
+    stack.push(Frame::Expr(b, true));
+    stack.push(Frame::Lit(op));
+    stack.push(Frame::Expr(a, true));
     Ok(())
 }
 
@@ -385,7 +467,11 @@ mod tests {
             e1 = new_e2;
             e2 = new_e1;
         }
-        assert_eq!(e1.logical_size(), u128::MAX, "saturated ⇒ astronomically large");
+        assert_eq!(
+            e1.logical_size(),
+            u128::MAX,
+            "saturated ⇒ astronomically large"
+        );
         assert!(e1.dag_size() < 2000, "but the DAG stays linear");
     }
 
@@ -408,13 +494,20 @@ mod tests {
         let p = t.named("p", crate::atom::AtomKind::Txn);
         // (p1 +M (p3 ·M p)) − p, from Example 3.2.
         let e = Expr::minus(
-            Expr::plus_m(
-                Expr::atom(p1),
-                Expr::dot_m(Expr::atom(p3), Expr::atom(p)),
-            ),
+            Expr::plus_m(Expr::atom(p1), Expr::dot_m(Expr::atom(p3), Expr::atom(p))),
             Expr::atom(p),
         );
         assert_eq!(format!("{}", e.display(&t)), "(p1 +M (p3 .M p)) - p");
+    }
+
+    #[test]
+    fn display_sum_terms_in_order() {
+        let mut t = AtomTable::new();
+        let a = t.named("a", crate::atom::AtomKind::Tuple);
+        let b = t.named("b", crate::atom::AtomKind::Tuple);
+        let p = t.named("p", crate::atom::AtomKind::Txn);
+        let e = Expr::dot_m(Expr::sum([Expr::atom(a), Expr::atom(b)]), Expr::atom(p));
+        assert_eq!(format!("{}", e.display(&t)), "(a + b) .M p");
     }
 
     #[test]

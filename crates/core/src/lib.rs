@@ -1,0 +1,33 @@
+//! Core algebra for `UP[X]` update provenance (Bourhis, Deutch & Moskovitch,
+//! SIGMOD 2020).
+//!
+//! The crate has two expression representations:
+//!
+//! * [`expr::Expr`] — the seed `Arc`-based tree with pointer sharing. Kept as
+//!   a convenient builder/compatibility layer; structurally equal subtrees
+//!   built independently are *not* shared.
+//! * [`arena::ExprArena`] — a hash-consed arena. Every node is interned into
+//!   a contiguous, topologically-ordered `Vec`, so structurally equal
+//!   expressions always receive the same [`arena::NodeId`], equality is O(1),
+//!   sharing is maximal by construction, and all hot paths (evaluation,
+//!   size/depth analyses) are iterative passes over dense vectors — no
+//!   recursion, no pointer-keyed hash maps.
+//!
+//! Lossless [`arena::ExprArena::import`] / [`arena::ExprArena::export`]
+//! bridges connect the two. Concrete semantics ([`structure::UpdateStructure`])
+//! and the executable axiom checker ([`axioms`]) apply to both; the catalogue
+//! of concrete structures lives in the `uprov-structures` crate.
+
+pub mod arena;
+pub mod atom;
+pub mod axioms;
+pub mod expr;
+pub mod structure;
+
+pub use arena::{BinOp, ExprArena, Node, NodeId, NodeStats};
+pub use atom::{Atom, AtomKind, AtomTable};
+pub use axioms::{check_axioms, check_zero_axioms, AxiomFailure, AxiomReport};
+pub use expr::{Expr, ExprRef};
+pub use structure::{
+    eval, eval_arena, eval_many, map_valuation, StructureHomomorphism, UpdateStructure, Valuation,
+};

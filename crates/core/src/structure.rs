@@ -3,19 +3,33 @@
 //! Section 4 of the paper represents a concrete semantics as a tuple
 //! `(K, +M, ·M, −, +I, +, 0)` called an *Update-Structure*. The
 //! [`UpdateStructure`] trait captures exactly that signature; evaluating a
-//! symbolic [`Expr`](crate::Expr) under a structure plus a valuation of its
-//! atoms is the homomorphic "specialization" of Proposition 4.2.
+//! symbolic expression under a structure plus a valuation of its atoms is
+//! the homomorphic "specialization" of Proposition 4.2.
+//!
+//! Two evaluators are provided:
+//!
+//! * [`eval`] — the legacy evaluator over the `Arc`-based
+//!   [`Expr`](crate::expr::Expr): recursive, memoized through a
+//!   pointer-keyed `HashMap`. Kept as the compatibility baseline (it is the
+//!   "before" side of the benchkit suite in `benches/provenance.rs`).
+//! * [`eval_arena`] / [`eval_many`] — the hot path over the hash-consed
+//!   [`ExprArena`](crate::arena::ExprArena): **iterative** (explicit
+//!   worklist, safe on chains of any depth) with a dense `Vec<Option<V>>`
+//!   memo indexed by [`NodeId`]. [`eval_many`] additionally amortizes the
+//!   evaluation schedule across many valuations — the "abort each
+//!   transaction in turn" workload of the paper's experiments (Section 6).
 //!
 //! A structure is only meaningful for this framework if it satisfies the
 //! equivalence axioms of Figure 3 and the zero axioms; the executable
 //! checker lives in [`crate::axioms`]. Concrete instances (Boolean deletion
-//! propagation, access-control sets, trust certification, …) live in the
+//! propagation, the counting/monus negative example, …) live in the
 //! `uprov-structures` crate.
 
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::sync::Arc;
 
+use crate::arena::{BinOp, ExprArena, Node, NodeId};
 use crate::atom::Atom;
 use crate::expr::{Expr, ExprRef};
 
@@ -66,6 +80,16 @@ pub trait UpdateStructure {
             Some(first) => it.fold(first.clone(), |acc, t| self.plus(&acc, t)),
         }
     }
+
+    /// Applies one binary operator by tag; used by the arena evaluators.
+    fn apply_bin(&self, op: BinOp, a: &Self::Value, b: &Self::Value) -> Self::Value {
+        match op {
+            BinOp::PlusI => self.plus_i(a, b),
+            BinOp::Minus => self.minus(a, b),
+            BinOp::PlusM => self.plus_m(a, b),
+            BinOp::DotM => self.dot_m(a, b),
+        }
+    }
 }
 
 /// An assignment of concrete values to atoms, used to specialize symbolic
@@ -107,14 +131,26 @@ impl<V: Clone> Valuation<V> {
     pub fn overridden(&self) -> usize {
         self.map.len()
     }
+
+    /// The default value (assigned to every non-overridden atom).
+    pub fn default_value(&self) -> &V {
+        &self.default
+    }
+
+    /// Iterates over the explicitly overridden atoms.
+    pub fn overrides(&self) -> impl Iterator<Item = (Atom, &V)> {
+        self.map.iter().map(|(a, v)| (*a, v))
+    }
 }
 
-/// Evaluates a symbolic expression under an Update-Structure and a
+/// Evaluates a legacy `Arc` expression under an Update-Structure and a
 /// valuation.
 ///
 /// Shared sub-expressions are evaluated once (pointer-memoized), so even the
 /// exponential-size naive provenance of Proposition 5.1 evaluates in time
-/// linear in its DAG size.
+/// linear in its DAG size. This is the compatibility baseline: it recurses
+/// (deep unshared chains can overflow the stack) and memoizes through a
+/// pointer-keyed `HashMap`. Prefer [`eval_arena`] on hot paths.
 pub fn eval<S: UpdateStructure>(
     expr: &ExprRef,
     structure: &S,
@@ -154,15 +190,122 @@ fn eval_memo<S: UpdateStructure>(
             s.dot_m(&va, &vb)
         }
         Expr::Sum(ts) => {
-            let vals: Vec<S::Value> = ts
-                .iter()
-                .map(|t| eval_memo(t, s, val, memo))
-                .collect();
+            let vals: Vec<S::Value> = ts.iter().map(|t| eval_memo(t, s, val, memo)).collect();
             s.sum(vals.iter())
         }
     };
     memo.insert(key, v.clone());
     v
+}
+
+/// Evaluates an arena node under an Update-Structure and a valuation.
+///
+/// Iterative worklist evaluation: no recursion (a depth-100 000 chain is
+/// fine), and the memo is a dense `Vec<Option<V>>` indexed by [`NodeId`]
+/// rather than a pointer-keyed hash map — each shared node is computed
+/// exactly once, and lookups are array indexing.
+///
+/// The memo is sized by `root`'s id, i.e. by the arena *prefix*, not the
+/// query's DAG. That is the right trade when the arena holds (mostly) the
+/// expression being evaluated — the common case today — but evaluating a
+/// tiny root interned late into a huge long-lived arena pays O(arena) per
+/// call; batch such queries with [`eval_many`], which amortizes the
+/// allocation across valuations (per-query memo pooling is an engine-layer
+/// open item, see `ROADMAP.md`).
+pub fn eval_arena<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    val: &Valuation<S::Value>,
+) -> S::Value {
+    let mut memo: Vec<Option<S::Value>> = vec![None; root.index() + 1];
+    let mut stack: Vec<NodeId> = vec![root];
+    while let Some(&id) = stack.last() {
+        if memo[id.index()].is_some() {
+            stack.pop();
+            continue;
+        }
+        let v = match arena.node(id) {
+            Node::Zero => s.zero(),
+            Node::Atom(a) => val.get(*a).clone(),
+            Node::Bin(op, a, b) => {
+                match (&memo[a.index()], &memo[b.index()]) {
+                    (Some(va), Some(vb)) => s.apply_bin(*op, va, vb),
+                    (va, _) => {
+                        // Defer: push the missing children and revisit.
+                        if va.is_none() {
+                            stack.push(*a);
+                        }
+                        if memo[b.index()].is_none() {
+                            stack.push(*b);
+                        }
+                        continue;
+                    }
+                }
+            }
+            Node::Sum(ts) => {
+                let mut pushed = false;
+                for t in ts.iter() {
+                    if memo[t.index()].is_none() {
+                        stack.push(*t);
+                        pushed = true;
+                    }
+                }
+                if pushed {
+                    continue;
+                }
+                s.sum(
+                    ts.iter()
+                        .map(|t| memo[t.index()].as_ref().expect("children computed")),
+                )
+            }
+        };
+        memo[id.index()] = Some(v);
+        stack.pop();
+    }
+    memo[root.index()].take().expect("root computed")
+}
+
+/// Evaluates one arena node under **many** valuations, amortizing the
+/// evaluation schedule.
+///
+/// The reachable sub-DAG is topologically sorted once
+/// ([`ExprArena::topo_order`]); each valuation then replays the same dense
+/// bottom-up schedule, overwriting a single reusable memo. This is the
+/// paper-experiment workload "abort each transaction in turn and re-evaluate"
+/// (Section 6), where the per-valuation cost drops to one tight loop over
+/// the reachable nodes with no traversal bookkeeping at all.
+pub fn eval_many<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+) -> Vec<S::Value> {
+    let order = arena.topo_order(root);
+    let mut memo: Vec<Option<S::Value>> = vec![None; root.index() + 1];
+    let mut out = Vec::with_capacity(valuations.len());
+    for val in valuations {
+        for &id in &order {
+            let v = match arena.node(id) {
+                Node::Zero => s.zero(),
+                Node::Atom(a) => val.get(*a).clone(),
+                Node::Bin(op, a, b) => {
+                    let (va, vb) = (
+                        memo[a.index()].as_ref().expect("topological order"),
+                        memo[b.index()].as_ref().expect("topological order"),
+                    );
+                    s.apply_bin(*op, va, vb)
+                }
+                Node::Sum(ts) => s.sum(
+                    ts.iter()
+                        .map(|t| memo[t.index()].as_ref().expect("topological order")),
+                ),
+            };
+            memo[id.index()] = Some(v);
+        }
+        out.push(memo[root.index()].clone().expect("root computed"));
+    }
+    out
 }
 
 /// A homomorphism between two Update-Structures (Definition 4.1): a value
@@ -196,89 +339,10 @@ mod tests {
     use super::*;
     use crate::atom::AtomTable;
 
-    /// The Boolean deletion-propagation structure from Section 4.1, local to
-    /// the core tests (the full catalogue lives in `uprov-structures`).
-    pub(crate) struct TestBool;
-
-    impl UpdateStructure for TestBool {
-        type Value = bool;
-        fn zero(&self) -> bool {
-            false
-        }
-        fn plus_i(&self, a: &bool, b: &bool) -> bool {
-            *a || *b
-        }
-        fn minus(&self, a: &bool, b: &bool) -> bool {
-            *a && !*b
-        }
-        fn plus_m(&self, a: &bool, b: &bool) -> bool {
-            *a || *b
-        }
-        fn dot_m(&self, a: &bool, b: &bool) -> bool {
-            *a && *b
-        }
-        fn plus(&self, a: &bool, b: &bool) -> bool {
-            *a || *b
-        }
-    }
-
-    #[test]
-    fn eval_example_4_3() {
-        // Tuple annotated 0 +M (p2 ·M p'); deleting the input tuple (p2 :=
-        // false) must evaluate to absent.
-        let mut t = AtomTable::new();
-        let p2 = t.fresh_tuple();
-        let pp = t.fresh_txn();
-        let e = Expr::plus_m(
-            Expr::zero(),
-            Expr::dot_m(Expr::atom(p2), Expr::atom(pp)),
-        );
-        let all_true = Valuation::constant(true);
-        assert!(eval(&e, &TestBool, &all_true));
-        let deleted = Valuation::constant(true).with(p2, false);
-        assert!(!eval(&e, &TestBool, &deleted));
-    }
-
-    #[test]
-    fn eval_example_4_4_transaction_abortion() {
-        // Products("Kids mnt bike", "Sport", $50) has provenance
-        // 0 +M (((p1 +M (p3 ·M p)) − p) ·M p'); aborting the first
-        // transaction (p := false) keeps the tuple present.
-        let mut t = AtomTable::new();
-        let p1 = t.fresh_tuple();
-        let p3 = t.fresh_tuple();
-        let p = t.fresh_txn();
-        let pp = t.fresh_txn();
-        let inner = Expr::minus(
-            Expr::plus_m(
-                Expr::atom(p1),
-                Expr::dot_m(Expr::atom(p3), Expr::atom(p)),
-            ),
-            Expr::atom(p),
-        );
-        let e = Expr::plus_m(Expr::zero(), Expr::dot_m(inner, Expr::atom(pp)));
-        let aborted = Valuation::constant(true).with(p, false);
-        assert!(eval(&e, &TestBool, &aborted));
-    }
-
-    #[test]
-    fn sum_of_empty_is_zero() {
-        let vals: [bool; 0] = [];
-        assert!(!TestBool.sum(vals.iter()));
-    }
-
-    #[test]
-    fn eval_memoizes_shared_nodes() {
-        // Build a deep shared DAG; evaluation must terminate quickly.
-        let mut t = AtomTable::new();
-        let mut e = Expr::atom(t.fresh_tuple());
-        for _ in 0..60 {
-            let p = Expr::atom(t.fresh_txn());
-            e = Expr::plus_m(e.clone(), Expr::dot_m(e, p));
-        }
-        let v = eval(&e, &TestBool, &Valuation::constant(true));
-        assert!(v);
-    }
+    // NOTE: tests that need a concrete Update-Structure live in the
+    // integration suite (`tests/eval.rs`) and in `uprov-structures` — a
+    // dev-dependency cycle only unifies crate instances for integration
+    // tests, not for unit tests compiled into the library itself.
 
     #[test]
     fn valuation_default_and_override() {
@@ -289,26 +353,7 @@ mod tests {
         assert!(!val.get(a));
         assert!(val.get(b));
         assert_eq!(val.overridden(), 1);
-    }
-
-    struct Identity;
-    impl StructureHomomorphism<TestBool, TestBool> for Identity {
-        fn apply(&self, v: &bool) -> bool {
-            *v
-        }
-    }
-
-    #[test]
-    fn homomorphism_commutes_with_eval() {
-        let mut t = AtomTable::new();
-        let a = t.fresh_tuple();
-        let p = t.fresh_txn();
-        let e = Expr::plus_i(Expr::atom(a), Expr::atom(p));
-        let val = Valuation::constant(true).with(a, false);
-        let mapped = map_valuation::<TestBool, TestBool, _>(&Identity, &val);
-        assert_eq!(
-            Identity.apply(&eval(&e, &TestBool, &val)),
-            eval(&e, &TestBool, &mapped)
-        );
+        assert!(*val.default_value());
+        assert_eq!(val.overrides().count(), 1);
     }
 }

@@ -1,0 +1,159 @@
+//! Randomized property tests for the arena/legacy bridge and evaluators.
+//!
+//! The real `proptest` crate is unavailable in the offline build
+//! environment, so these use a minimal deterministic in-repo harness: a
+//! seeded xorshift generator producing random shared DAGs, with the seed
+//! printed on failure for reproduction. Swap to real `proptest` when a
+//! network-enabled toolchain is available (see ROADMAP.md).
+
+use uprov_core::{
+    eval, eval_arena, eval_many, Atom, AtomTable, Expr, ExprArena, ExprRef, Valuation,
+};
+use uprov_structures::Bool;
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Builds a random shared DAG bottom-up: starts from a pool of atoms (plus
+/// `0`) and repeatedly combines random pool entries with random operators,
+/// pushing results back into the pool so later nodes share earlier ones —
+/// exactly the shape hash-consing must handle (including repeated,
+/// structurally identical combinations).
+fn random_expr(rng: &mut Rng, table: &mut AtomTable, ops: usize) -> (ExprRef, Vec<Atom>) {
+    let mut atoms = Vec::new();
+    let mut pool: Vec<ExprRef> = vec![Expr::zero()];
+    for _ in 0..4 {
+        let a = if rng.coin() {
+            table.fresh_tuple()
+        } else {
+            table.fresh_txn()
+        };
+        atoms.push(a);
+        pool.push(Expr::atom(a));
+    }
+    for _ in 0..ops {
+        let a = pool[rng.below(pool.len())].clone();
+        let b = pool[rng.below(pool.len())].clone();
+        let e = match rng.below(6) {
+            0 => Expr::plus_i(a, b),
+            1 => Expr::minus(a, b),
+            2 => Expr::plus_m(a, b),
+            3 => Expr::dot_m(a, b),
+            _ => {
+                let c = pool[rng.below(pool.len())].clone();
+                Expr::sum([a, b, c])
+            }
+        };
+        pool.push(e);
+    }
+    (pool.pop().expect("non-empty pool"), atoms)
+}
+
+fn random_valuation(rng: &mut Rng, atoms: &[Atom]) -> Valuation<bool> {
+    let mut val = Valuation::constant(true);
+    for &a in atoms {
+        if rng.coin() {
+            val.set(a, rng.coin());
+        }
+    }
+    val
+}
+
+const CASES: u64 = 300;
+
+#[test]
+fn prop_interning_is_idempotent() {
+    // intern(export(id)) == id for random expressions.
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 7919 + 1);
+        let mut table = AtomTable::new();
+        let (e, _) = random_expr(&mut rng, &mut table, 40);
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        let back = ar.export(id);
+        assert_eq!(
+            ar.import(&back),
+            id,
+            "seed {seed}: intern(export(id)) != id"
+        );
+    }
+}
+
+#[test]
+fn prop_arena_eval_agrees_with_legacy_eval() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 104_729 + 3);
+        let mut table = AtomTable::new();
+        let (e, atoms) = random_expr(&mut rng, &mut table, 40);
+        let val = random_valuation(&mut rng, &atoms);
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        assert_eq!(
+            eval(&e, &Bool, &val),
+            eval_arena(&ar, id, &Bool, &val),
+            "seed {seed}: arena eval diverged from legacy eval"
+        );
+    }
+}
+
+#[test]
+fn prop_eval_many_agrees_with_eval_arena() {
+    for seed in 0..CASES / 3 {
+        let mut rng = Rng::new(seed * 31_337 + 5);
+        let mut table = AtomTable::new();
+        let (e, atoms) = random_expr(&mut rng, &mut table, 40);
+        let vals: Vec<Valuation<bool>> =
+            (0..8).map(|_| random_valuation(&mut rng, &atoms)).collect();
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        let batched = eval_many(&ar, id, &Bool, &vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                eval_arena(&ar, id, &Bool, v),
+                "seed {seed}: eval_many[{i}] diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn prop_arena_stats_agree_with_legacy_stats() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 65_537 + 11);
+        let mut table = AtomTable::new();
+        let (e, _) = random_expr(&mut rng, &mut table, 30);
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        let stats = ar.analyze(id);
+        assert_eq!(
+            stats.logical_size,
+            e.logical_size(),
+            "seed {seed}: logical_size"
+        );
+        assert_eq!(stats.depth, e.depth(), "seed {seed}: depth");
+        assert_eq!(ar.atoms(id), e.atoms(), "seed {seed}: atoms order");
+        // Hash-consing can only merge nodes, never add them.
+        assert!(stats.dag_size <= e.dag_size(), "seed {seed}: dag_size grew");
+    }
+}
