@@ -78,7 +78,7 @@ impl Harness {
     }
 
     /// Runs one benchmark: calibrates an iteration count so a sample takes
-    /// roughly 5 ms, warms up, then times [`MEASURED_SAMPLES`] samples.
+    /// roughly 5 ms, warms up, then times `MEASURED_SAMPLES` samples (one short sample in smoke mode).
     /// Wrap inputs/outputs in [`black_box`] inside `f` to keep the optimizer
     /// honest.
     pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> &BenchResult {

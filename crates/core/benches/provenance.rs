@@ -13,11 +13,17 @@
 //! * **eval_many** — "abort each transaction in turn and re-evaluate", the
 //!   repeated-valuation workload,
 //! * **deep100k** — a depth-100 000 chain; completing at all demonstrates
-//!   the iterative evaluator cannot overflow the stack.
+//!   the iterative evaluator cannot overflow the stack,
+//! * **nf / equiv** — Figure-3 normalization of the ping-pong chain and of
+//!   the 100k chain, plus AC-permuted spine equivalence (the
+//!   canonicalization workload of the rewrite engine),
+//! * **eval_smallroot** — a small root interned late into a 200k-node
+//!   arena, evaluated with and without a pooled [`DenseMemo`].
 
 use benchkit::{black_box, Harness};
 use uprov_core::{
-    eval, eval_arena, eval_many, Atom, AtomTable, Expr, ExprArena, ExprRef, NodeId, Valuation,
+    equiv_in, eval, eval_arena, eval_arena_in, eval_many, nf, nf_in, Atom, AtomTable, DenseMemo,
+    Expr, ExprArena, ExprRef, NodeId, Valuation,
 };
 use uprov_structures::Bool;
 
@@ -135,6 +141,33 @@ fn main() {
         "arena/eval_many/64vals",
     );
 
+    // --- Figure 3 normalization: pingpong chain (deep +M spines). ---
+    h.bench("arena/nf/pingpong500", || {
+        black_box(nf(black_box(&mut ar), arena_root));
+    });
+
+    // --- equiv of AC-permuted +M spines (canonicalization worst case:
+    //     the reversed spine re-sorts at every level on the first pass). ---
+    let mut t6 = AtomTable::new();
+    let mut ar_ac = ExprArena::new();
+    let ac_head = ar_ac.atom(t6.fresh_tuple());
+    let ac_incs: Vec<NodeId> = (0..200)
+        .map(|_| {
+            let x = ar_ac.atom(t6.fresh_tuple());
+            let q = ar_ac.atom(t6.fresh_txn());
+            ar_ac.dot_m(x, q)
+        })
+        .collect();
+    let fwd = ac_incs.iter().fold(ac_head, |acc, &m| ar_ac.plus_m(acc, m));
+    let rev = ac_incs
+        .iter()
+        .rev()
+        .fold(ac_head, |acc, &m| ar_ac.plus_m(acc, m));
+    let mut nf_pool: DenseMemo<NodeId> = DenseMemo::new();
+    h.bench("arena/equiv/acspine200", || {
+        assert!(equiv_in(black_box(&mut ar_ac), fwd, rev, &mut nf_pool));
+    });
+
     // --- Depth-100k chain: iterative evaluation cannot overflow. ---
     let mut t5 = AtomTable::new();
     let mut ar_deep = ExprArena::new();
@@ -148,6 +181,44 @@ fn main() {
     });
     h.bench("arena/analyze/deep100k", || {
         black_box(ar_deep.analyze(deep));
+    });
+    // Normalizing the whole 200k-node chain is the no-stack-overflow
+    // witness for the rewrite engine (one iterative pass per round).
+    h.bench("arena/nf/deep100k", || {
+        black_box(nf(black_box(&mut ar_deep), deep));
+    });
+
+    // --- Memo pooling: many small queries against one long-lived arena.
+    //     The root is interned *late* into the 200k-node arena, so the
+    //     dense memo spans the whole prefix; pooling reuses its allocation
+    //     across calls (ROADMAP engine-layer pattern). ---
+    let small_x = ar_deep.atom(t5.fresh_tuple());
+    let small_p = ar_deep.atom(t5.fresh_txn());
+    let small = ar_deep.dot_m(small_x, small_p);
+    let mut pool: DenseMemo<bool> = DenseMemo::new();
+    h.bench("arena/eval_smallroot/alloc", || {
+        black_box(eval_arena(black_box(&ar_deep), small, &Bool, &all_true));
+    });
+    h.bench("arena/eval_smallroot/pooled", || {
+        black_box(eval_arena_in(
+            black_box(&ar_deep),
+            small,
+            &Bool,
+            &all_true,
+            &mut pool,
+        ));
+    });
+    h.compare(
+        "pooled_vs_alloc/eval_smallroot",
+        "arena/eval_smallroot/alloc",
+        "arena/eval_smallroot/pooled",
+    );
+    // Pooled normalization of the same late small root: the DFS rewrite
+    // pass visits only the query's DAG, so this too is O(query), not
+    // O(arena prefix).
+    let mut nf_small_pool: DenseMemo<NodeId> = DenseMemo::new();
+    h.bench("arena/nf_smallroot/pooled", || {
+        black_box(nf_in(black_box(&mut ar_deep), small, &mut nf_small_pool));
     });
 
     h.finish();

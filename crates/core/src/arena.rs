@@ -3,7 +3,7 @@
 //! The paper's central performance observation (Section 5, Proposition 5.1)
 //! is that naive `UP[X]` provenance has *logical* size exponential in the
 //! transaction length but stays tractable when materialized as a shared DAG.
-//! The `Arc`-based [`Expr`](crate::expr::Expr) only shares what the caller
+//! The `Arc`-based [`Expr`] only shares what the caller
 //! happens to share through pointers; this module guarantees **maximal**
 //! sharing by hash-consing: every node is interned into a contiguous
 //! [`Vec<Node>`] keyed by a dense [`NodeId`], and a hash-cons map ensures
@@ -72,6 +72,118 @@ pub enum Node {
     Sum(Box<[NodeId]>),
 }
 
+/// A reusable dense side table indexed by [`NodeId`].
+///
+/// All hot passes over the arena (evaluation, normalization) memoize into a
+/// `Vec<Option<T>>` sized by the arena prefix they touch. For a single pass
+/// that vector is cheap, but *many small queries against one long-lived
+/// arena* reallocate it per call; pooling the buffer in a `DenseMemo` and
+/// passing it to the `*_in` entry points ([`crate::structure::eval_arena_in`],
+/// [`crate::structure::eval_many_in`], [`crate::nf::nf_in`]) amortizes the
+/// allocation.
+///
+/// Slots are **generation-stamped**: [`DenseMemo::reset`] bumps a counter
+/// instead of clearing, so (beyond one-time growth) reset is O(1) and a
+/// pooled query touches only the slots its own DAG visits — evaluating a
+/// small root late in a 200 000-node arena costs O(its DAG), not O(arena
+/// prefix). Stale values from earlier generations linger in their slots
+/// (invisible behind the stamp check) until overwritten; call
+/// [`DenseMemo::new`] afresh if holding those values is a concern.
+#[derive(Debug, Clone)]
+pub struct DenseMemo<T> {
+    slots: Vec<Option<T>>,
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl<T> Default for DenseMemo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DenseMemo<T> {
+    /// An empty memo; capacity grows on first [`reset`](DenseMemo::reset).
+    pub fn new() -> Self {
+        DenseMemo {
+            slots: Vec::new(),
+            stamps: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Starts a fresh generation (logically clearing every slot) and
+    /// ensures at least `len` slots exist. O(1) plus any growth; existing
+    /// allocations are reused.
+    pub fn reset(&mut self, len: usize) {
+        if self.generation == u32::MAX {
+            // Stamp wrap-around: hard-clear once every 2³² resets so an
+            // ancient stamp can never alias the new generation.
+            self.stamps.fill(0);
+            self.slots.fill_with(|| None);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        if len > self.slots.len() {
+            self.slots.resize_with(len, || None);
+            self.stamps.resize(len, 0);
+        }
+    }
+
+    /// Number of currently addressable slots (high-water mark across
+    /// resets).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the memo has no slots (before the first reset).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The memoized value for `id`, if computed this generation. Total:
+    /// ids beyond the last [`reset`](DenseMemo::reset)'s length are simply
+    /// not memoized.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        if self.stamps.get(id.index()) == Some(&self.generation) {
+            self.slots[id.index()].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// True if `id` has a memoized value this generation. Total, like
+    /// [`get`](DenseMemo::get).
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Memoizes `value` for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond [`len`](DenseMemo::len) (the high-water
+    /// mark across resets) — storing requires a reserved slot.
+    #[inline]
+    pub fn set(&mut self, id: NodeId, value: T) {
+        self.slots[id.index()] = Some(value);
+        self.stamps[id.index()] = self.generation;
+    }
+
+    /// Removes and returns the memoized value for `id`, if computed this
+    /// generation. Total, like [`get`](DenseMemo::get).
+    #[inline]
+    pub fn take(&mut self, id: NodeId) -> Option<T> {
+        if self.stamps.get(id.index()) == Some(&self.generation) {
+            self.slots[id.index()].take()
+        } else {
+            None
+        }
+    }
+}
+
 /// Size/depth statistics for one root, computed by [`ExprArena::analyze`] in
 /// a single bottom-up pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +198,31 @@ pub struct NodeStats {
 }
 
 /// A hash-consing arena for `UP[X]` expressions.
+///
+/// Every node is interned: structurally equal expressions always receive
+/// the same [`NodeId`], and the zero axioms of Section 3.1 are applied at
+/// intern time by the smart constructors, so `0` never appears as an
+/// operand.
+///
+/// ```
+/// use uprov_core::{AtomTable, ExprArena};
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let a = ar.atom(t.fresh_tuple());
+/// let p = ar.atom(t.fresh_txn());
+///
+/// // Interning: same structure ⇒ same id, equality is O(1).
+/// let e1 = ar.plus_i(a, p);
+/// let e2 = ar.plus_i(a, p);
+/// assert_eq!(e1, e2);
+/// assert_eq!(ar.len(), 4); // 0, a, p, a +I p — nothing duplicated
+///
+/// // Zero axioms fire at intern time: no new node is created.
+/// let z = ar.zero();
+/// assert_eq!(ar.plus_i(a, z), a);
+/// assert_eq!(ar.dot_m(a, z), z);
+/// assert_eq!(ar.len(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ExprArena {
     nodes: Vec<Node>,
@@ -381,6 +518,110 @@ impl ExprArena {
         self.analyze(root).depth
     }
 
+    /// One bottom-up rewrite pass over the reachable sub-DAG of `root`: the
+    /// hook every arena rewriter (notably the [`crate::nf`](mod@crate::nf)
+    /// normalizer) drives.
+    ///
+    /// Nodes are visited bottom-up (children before parents), discovered by
+    /// an explicit-stack DFS over the sub-DAG of `root` — only reachable
+    /// nodes are touched, so a pass over a small root in a huge arena costs
+    /// O(its DAG), not O(arena prefix). For each visited node a *rebuilt*
+    /// id is computed by replacing its children with their already-computed
+    /// images and re-interning through the smart constructors — so the zero
+    /// axioms of Section 3.1 re-fire whenever a child's image became `0`,
+    /// and maximal sharing is preserved (structurally converging rewrites
+    /// land on the same id). `step` then maps the rebuilt id to the node's
+    /// final image (returning its argument for "no change"). Returns
+    /// `root`'s image.
+    ///
+    /// Iterative (no recursion — a depth-100 000 chain is fine) and memoized
+    /// into a fresh dense buffer; use
+    /// [`rewrite_pass_in`](ExprArena::rewrite_pass_in) with a pooled
+    /// [`DenseMemo`] when running many passes.
+    pub fn rewrite_pass(
+        &mut self,
+        root: NodeId,
+        step: &mut dyn FnMut(&mut ExprArena, NodeId) -> NodeId,
+    ) -> NodeId {
+        let mut memo = DenseMemo::new();
+        self.rewrite_pass_in(root, &mut memo, step)
+    }
+
+    /// [`rewrite_pass`](ExprArena::rewrite_pass) with a caller-provided
+    /// [`DenseMemo`], so repeated passes (e.g. the saturation rounds of
+    /// [`crate::nf::nf`]) reuse one allocation — the generation-stamped
+    /// reset keeps the per-pass overhead proportional to the visited
+    /// sub-DAG.
+    ///
+    /// The memo maps each *original* reachable id to its image; images may
+    /// be newly interned ids beyond the original nodes and are never used
+    /// as indices.
+    pub fn rewrite_pass_in(
+        &mut self,
+        root: NodeId,
+        memo: &mut DenseMemo<NodeId>,
+        step: &mut dyn FnMut(&mut ExprArena, NodeId) -> NodeId,
+    ) -> NodeId {
+        memo.reset(root.index() + 1);
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(&id) = stack.last() {
+            if memo.contains(id) {
+                stack.pop();
+                continue;
+            }
+            // Inspect without cloning the node; plans carry only Copy data
+            // (plus the collected Sum images), so deferred visits allocate
+            // nothing.
+            enum Plan {
+                Leaf,
+                Bin(BinOp, NodeId, NodeId),
+                Sum(Vec<NodeId>),
+            }
+            let plan = match self.node(id) {
+                Node::Zero | Node::Atom(_) => Plan::Leaf,
+                Node::Bin(op, a, b) => match (memo.get(*a).copied(), memo.get(*b).copied()) {
+                    (Some(ia), Some(ib)) => Plan::Bin(*op, ia, ib),
+                    (ia, _) => {
+                        // Defer: push the missing children and revisit.
+                        if ia.is_none() {
+                            stack.push(*a);
+                        }
+                        if !memo.contains(*b) {
+                            stack.push(*b);
+                        }
+                        continue;
+                    }
+                },
+                Node::Sum(ts) => {
+                    let mut pushed = false;
+                    for t in ts.iter() {
+                        if !memo.contains(*t) {
+                            stack.push(*t);
+                            pushed = true;
+                        }
+                    }
+                    if pushed {
+                        continue;
+                    }
+                    let images: Vec<NodeId> = ts
+                        .iter()
+                        .map(|t| memo.get(*t).copied().expect("children computed"))
+                        .collect();
+                    Plan::Sum(images)
+                }
+            };
+            let rebuilt = match plan {
+                Plan::Leaf => id,
+                Plan::Bin(op, ia, ib) => self.bin(op, ia, ib),
+                Plan::Sum(images) => self.sum(images),
+            };
+            let image = step(self, rebuilt);
+            memo.set(id, image);
+            stack.pop();
+        }
+        memo.take(root).expect("root computed")
+    }
+
     /// Atoms occurring under `root`, deduplicated, in first-occurrence
     /// (preorder, left-to-right) order — the same order the legacy
     /// [`Expr::atoms`](crate::expr::Expr) reports.
@@ -541,6 +782,33 @@ mod tests {
         let id = ar.import(&legacy);
         assert_eq!(ar.atoms(id), legacy.atoms());
         assert_eq!(ar.atoms(id), vec![a, b, p]);
+    }
+
+    #[test]
+    fn dense_memo_generations_isolate_resets() {
+        let mut memo: DenseMemo<u32> = DenseMemo::new();
+        memo.reset(4);
+        let id = NodeId(2);
+        assert!(memo.get(id).is_none());
+        memo.set(id, 7);
+        assert_eq!(memo.get(id), Some(&7));
+        assert!(memo.contains(id));
+        // A reset invalidates without clearing storage.
+        memo.reset(2);
+        assert!(memo.get(id).is_none(), "stale generation is invisible");
+        assert!(!memo.contains(id));
+        assert_eq!(memo.take(id), None, "stale value cannot be taken");
+        assert_eq!(memo.len(), 4, "high-water mark is kept");
+        memo.set(id, 9);
+        assert_eq!(memo.take(id), Some(9));
+        assert!(memo.get(id).is_none(), "taken this generation");
+        // Query methods are total beyond the reserved length.
+        let far = NodeId(1_000);
+        assert!(memo.get(far).is_none());
+        assert!(!memo.contains(far));
+        assert_eq!(memo.take(far), None);
+        let fresh: DenseMemo<u32> = DenseMemo::new();
+        assert!(fresh.get(far).is_none(), "unreset memo answers None");
     }
 
     #[test]

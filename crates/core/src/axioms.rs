@@ -15,6 +15,105 @@
 
 use crate::structure::UpdateStructure;
 
+/// One entry of the Figure 3 axiom table: number, mnemonic name, and the
+/// schematic equation in the paper's notation.
+///
+/// This table is the single source of truth shared by the two executable
+/// views of the axioms:
+///
+/// * the **checker** ([`check_axioms`]) instantiates each equation over
+///   concrete carrier samples and reports failures by axiom number, and
+/// * the **rewriter** ([`crate::rewrite`]) orients each equation into a
+///   directed rule over the expression arena; every
+///   [`RewriteRule`](crate::rewrite::RewriteRule) names the axioms it
+///   implements by number into this table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiomInfo {
+    /// Axiom number as in Figure 3 (1–12).
+    pub number: u8,
+    /// Short mnemonic, e.g. `mod-mod-commute`.
+    pub name: &'static str,
+    /// The schematic equation in paper notation.
+    pub equation: &'static str,
+}
+
+/// The twelve equivalence axioms of Figure 3 (`FIGURE_3[i]` is axiom
+/// `i + 1`). The zero axioms of Section 3.1 are not listed here: they are
+/// part of the base structure and are applied at intern time by the
+/// [`ExprArena`](crate::arena::ExprArena) smart constructors.
+pub const FIGURE_3: [AxiomInfo; 12] = [
+    AxiomInfo {
+        number: 1,
+        name: "mod-mod-commute",
+        equation: "(a +M (b .M c)) +M (d .M c) = (a +M (d .M c)) +M (b .M c)",
+    },
+    AxiomInfo {
+        number: 2,
+        name: "delete-absorbs-mod",
+        equation: "(a +M (b .M c)) - c = a - c",
+    },
+    AxiomInfo {
+        number: 3,
+        name: "mod-partition",
+        equation: "(a +M ((Σ_{e∈I} e) .M d)) +M ((Σ_i b_i) .M d) \
+                   = a +M ((Σ_i (b_i +M ((Σ_{e∈S_i} e) .M d))) .M d)  [I = ⊎_i S_i]",
+    },
+    AxiomInfo {
+        number: 4,
+        name: "delete-idempotent",
+        equation: "(a - b) - b = a - b",
+    },
+    AxiomInfo {
+        number: 5,
+        name: "mod-of-deleted-vanishes",
+        equation: "a +M ((Σ_i (b_i - c)) .M c) = a",
+    },
+    AxiomInfo {
+        number: 6,
+        name: "insert-mod-commute",
+        equation: "(a +M (b .M c)) +I c = (a +I c) +M (b .M c)",
+    },
+    AxiomInfo {
+        number: 7,
+        name: "delete-absorbs-insert",
+        equation: "(a +I b) - b = a - b",
+    },
+    AxiomInfo {
+        number: 8,
+        name: "mod-of-inserted",
+        equation: "a +M ((b +I c) .M c) = (a +I c) +M (b .M c)",
+    },
+    AxiomInfo {
+        number: 9,
+        name: "insert-absorbs-mod",
+        equation: "(a +M (b .M c)) +I c = a +I c",
+    },
+    AxiomInfo {
+        number: 10,
+        name: "insert-absorbs-delete",
+        equation: "(a - b) +I b = a +I b",
+    },
+    AxiomInfo {
+        number: 11,
+        name: "mod-sum-split",
+        equation: "a +M ((Σb + Σd) .M c) = (a +M (Σb .M c)) +M (Σd .M c)",
+    },
+    AxiomInfo {
+        number: 12,
+        name: "mod-after-delete-stable",
+        equation: "(a - b) +M (c .M b) = (a - b) +M (((d - b) +M (c .M b)) .M b)",
+    },
+];
+
+/// Looks up a Figure 3 axiom by its number (1–12); `None` for 0 (the zero
+/// axioms, which live in the smart constructors) or out-of-range numbers.
+pub fn axiom_info(number: u8) -> Option<&'static AxiomInfo> {
+    match number {
+        1..=12 => Some(&FIGURE_3[number as usize - 1]),
+        _ => None,
+    }
+}
+
 /// Identifier of one axiom instance, used in failure reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AxiomFailure {
@@ -22,6 +121,14 @@ pub struct AxiomFailure {
     pub axiom: u8,
     /// Human-readable description of the violated instance.
     pub detail: String,
+}
+
+impl AxiomFailure {
+    /// The [`FIGURE_3`] table entry for this failure (`None` for the zero
+    /// axioms, which are reported as axiom 0).
+    pub fn info(&self) -> Option<&'static AxiomInfo> {
+        axiom_info(self.axiom)
+    }
 }
 
 /// Result of checking a structure against the full axiom set.
@@ -47,9 +154,10 @@ fn fail<S: UpdateStructure>(
     rhs: &S::Value,
     binding: String,
 ) {
+    let label = axiom_info(axiom).map_or("zero-axiom", |i| i.name);
     report.failures.push(AxiomFailure {
         axiom,
-        detail: format!("{binding}: lhs={lhs:?} rhs={rhs:?}"),
+        detail: format!("{label}: {binding}: lhs={lhs:?} rhs={rhs:?}"),
     });
 }
 
@@ -137,6 +245,19 @@ pub fn check_zero_axioms<S: UpdateStructure>(s: &S, samples: &[S::Value]) -> Axi
 /// set-quantified axioms 3, 5 and 11 are instantiated with sub-slices of the
 /// samples of length ≤ 2 per summand group, and axiom 3 over all binary
 /// partitions of a set of ≤ 3 elements).
+///
+/// ```
+/// use uprov_core::check_axioms;
+/// use uprov_structures::{Bool, CountingMonus};
+///
+/// // The Boolean structure satisfies every axiom over its full carrier…
+/// assert!(check_axioms(&Bool, &[false, true]).is_ok());
+///
+/// // …while counting-with-monus is rejected, via axiom 10 among others:
+/// // (1 ∸ 2) + 2 = 2 but 1 + 2 = 3.
+/// let rejected = check_axioms(&CountingMonus, &[0, 1, 2]);
+/// assert!(rejected.failures.iter().any(|f| f.axiom == 10));
+/// ```
 pub fn check_axioms<S: UpdateStructure>(s: &S, samples: &[S::Value]) -> AxiomReport {
     let mut report = check_zero_axioms(s, samples);
     let n = samples.len();

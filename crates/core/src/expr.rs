@@ -31,8 +31,11 @@
 //!
 //! The *zero-related axioms* of Section 3.1 are applied eagerly by the smart
 //! constructors ([`Expr::plus_i`], [`Expr::minus`], …); they are part of the
-//! base structure, not of the equivalence axioms of Figure 3 (which are the
-//! subject of the planned `rewrite` / `nf` modules — see `ROADMAP.md`).
+//! base structure, not of the equivalence axioms of Figure 3. Those twelve
+//! axioms live as directed rewrite rules in [`crate::rewrite`], driven to a
+//! fixpoint by the [`crate::nf::nf`] normalizer over the arena
+//! representation — [`import`](crate::arena::ExprArena::import) a legacy
+//! expression and call [`crate::nf::equiv`] to decide equivalence.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;

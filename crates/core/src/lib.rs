@@ -17,17 +17,33 @@
 //! bridges connect the two. Concrete semantics ([`structure::UpdateStructure`])
 //! and the executable axiom checker ([`axioms`]) apply to both; the catalogue
 //! of concrete structures lives in the `uprov-structures` crate.
+//!
+//! The twelve equivalence axioms of Figure 3 exist in two executable forms
+//! sharing one table ([`axioms::FIGURE_3`]): as checkable *laws* over a
+//! concrete structure ([`axioms::check_axioms`]) and as *directed rewrite
+//! rules* over the arena ([`rewrite`]). The saturating normalizer [`nf::nf`]
+//! drives the rules to a fixpoint, and [`nf::equiv`] decides equivalence of
+//! provenance expressions / transaction effects by comparing normal-form
+//! ids. See `docs/PAPER_MAP.md` at the repository root for the full
+//! paper↔code cross-reference.
 
 pub mod arena;
 pub mod atom;
 pub mod axioms;
 pub mod expr;
+pub mod nf;
+pub mod rewrite;
 pub mod structure;
 
-pub use arena::{BinOp, ExprArena, Node, NodeId, NodeStats};
+pub use arena::{BinOp, DenseMemo, ExprArena, Node, NodeId, NodeStats};
 pub use atom::{Atom, AtomKind, AtomTable};
-pub use axioms::{check_axioms, check_zero_axioms, AxiomFailure, AxiomReport};
+pub use axioms::{
+    axiom_info, check_axioms, check_zero_axioms, AxiomFailure, AxiomInfo, AxiomReport, FIGURE_3,
+};
 pub use expr::{Expr, ExprRef};
+pub use nf::{equiv, equiv_in, nf, nf_in};
+pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{
-    eval, eval_arena, eval_many, map_valuation, StructureHomomorphism, UpdateStructure, Valuation,
+    eval, eval_arena, eval_arena_in, eval_many, eval_many_in, map_valuation, StructureHomomorphism,
+    UpdateStructure, Valuation,
 };

@@ -1,0 +1,238 @@
+//! Normal forms for `UP[X]` expressions, and equivalence via normal-form
+//! comparison.
+//!
+//! [`nf`] drives the directed Figure 3 rules of [`crate::rewrite`] to a
+//! fixpoint: each **round** is one iterative bottom-up pass over the
+//! reachable sub-DAG in the arena's topological order
+//! ([`ExprArena::rewrite_pass_in`]) — children first, a dense
+//! [`DenseMemo`]`<NodeId>` keyed by [`NodeId`], no recursion anywhere, so a
+//! depth-100 000 update chain normalizes without touching the call stack —
+//! and rounds repeat until the root's image stops changing (rules can
+//! build new sub-spines whose interiors only become visible to the
+//! per-node reduction on the next pass). Termination of the rule system
+//! itself is argued in the [`crate::rewrite`] module docs.
+//!
+//! Depth safety is about the *call stack*; wall-clock is a separate
+//! budget: reduction at a `+I`/`+M` spine node re-walks the maximal block
+//! below it, so one very long block costs O(block²) per round (fine for
+//! the block lengths of the paper's workloads; see the NF hot-spot note in
+//! `ROADMAP.md` before pointing the normalizer at 100k-increment spines).
+//!
+//! Because every rewrite re-interns through the hash-consing smart
+//! constructors, normal forms inherit the arena's guarantees: two
+//! expressions equivalent under "Figure 3 + AC of the `+I`/`+M` spines +
+//! `Σ`-as-set" (see [`crate::rewrite`] for the exact theory decided)
+//! normalize to the **same [`NodeId`]**, so [`equiv`] is two
+//! normalizations and one integer comparison. By Propositions 3.5/4.2,
+//! evaluation under any axiom-satisfying Update-Structure is invariant
+//! under these rewrites: `eval(e) == eval(nf(e))` is property-tested for
+//! every catalogue structure.
+//!
+//! # Example
+//!
+//! ```
+//! use uprov_core::{nf, AtomTable, ExprArena};
+//!
+//! let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+//! let a = ar.atom(t.fresh_tuple());
+//! let p = ar.atom(t.fresh_txn());
+//!
+//! // Insert-then-delete and modify-then-delete both leave just `a − p`.
+//! let ins = ar.plus_i(a, p); // a +I p
+//! let e1 = ar.minus(ins, p); // (a +I p) − p
+//! let want = ar.minus(a, p);
+//! assert_eq!(nf(&mut ar, e1), want); // axiom 7
+//! ```
+
+use crate::arena::{DenseMemo, ExprArena, NodeId};
+use crate::rewrite::reduce;
+
+/// Rounds after which [`nf`] gives up and returns its best-effort result.
+/// Each round reduces every reachable node, so in practice two or three
+/// rounds suffice; the cap is a loud backstop against a (theoretically
+/// excluded, see the termination argument in [`crate::rewrite`]) rule
+/// cycle. Hitting it is a bug, reported by `debug_assert`; the release
+/// fallback stays *sound* — every returned id is reachable from the input
+/// by valid rewrites, it may just not be fully normal.
+const MAX_ROUNDS: usize = 64;
+
+/// Normalizes `root` under the directed Figure 3 rule system, returning the
+/// normal form's id.
+///
+/// Saturating and bottom-up: rounds of one iterative pass each (children
+/// before parents, dense memo, no recursion — chains 100 000 deep are
+/// fine), until a round maps the root to itself. Allocates a fresh memo per
+/// call; use [`nf_in`] with a pooled [`DenseMemo`] for many roots against
+/// one long-lived arena.
+///
+/// ```
+/// use uprov_core::{nf, AtomTable, ExprArena};
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let a = ar.atom(t.fresh_tuple());
+/// let x = ar.atom(t.fresh_tuple());
+/// let p = ar.atom(t.fresh_txn());
+///
+/// // a +M ((x − p) ·M p) — a modification sourced only from a tuple the
+/// // same transaction deleted — vanishes entirely (axiom 5).
+/// let del = ar.minus(x, p);
+/// let dot = ar.dot_m(del, p);
+/// let e = ar.plus_m(a, dot);
+/// assert_eq!(nf(&mut ar, e), a);
+/// // Normal forms are interned ids: nf is idempotent by construction.
+/// assert_eq!(nf(&mut ar, a), a);
+/// ```
+pub fn nf(arena: &mut ExprArena, root: NodeId) -> NodeId {
+    let mut memo = DenseMemo::new();
+    nf_in(arena, root, &mut memo)
+}
+
+/// [`nf`] with a caller-provided [`DenseMemo`], so many normalizations
+/// against one long-lived arena reuse a single allocation (the engine-layer
+/// "many small queries" pattern; see also
+/// [`eval_arena_in`](crate::structure::eval_arena_in)).
+pub fn nf_in(arena: &mut ExprArena, root: NodeId, memo: &mut DenseMemo<NodeId>) -> NodeId {
+    let mut cur = root;
+    for _ in 0..MAX_ROUNDS {
+        let next = arena.rewrite_pass_in(cur, memo, &mut |ar, id| reduce(ar, id));
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    debug_assert!(false, "nf did not stabilize within {MAX_ROUNDS} rounds");
+    cur
+}
+
+/// Decides equivalence of two provenance expressions (or transaction
+/// effects) by comparing normal forms: sound for the theory "Figure 3 + AC
+/// spines + `Σ`-as-set" described in [`crate::rewrite`], and an integer
+/// comparison once both sides are normalized.
+///
+/// ```
+/// use uprov_core::{equiv, AtomTable, ExprArena};
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let a = ar.atom(t.fresh_tuple());
+/// let b = ar.atom(t.fresh_tuple());
+/// let p = ar.atom(t.fresh_txn());
+///
+/// // Two syntactically different "insert then abort-delete" effects:
+/// // (a +I p) − p   vs   (a +M (b ·M p)) − p.
+/// let ins = ar.plus_i(a, p);
+/// let e1 = ar.minus(ins, p);
+/// let dot = ar.dot_m(b, p);
+/// let md = ar.plus_m(a, dot);
+/// let e2 = ar.minus(md, p);
+/// assert!(equiv(&mut ar, e1, e2)); // both normalize to a − p
+/// assert!(!equiv(&mut ar, e1, a));
+/// ```
+pub fn equiv(arena: &mut ExprArena, a: NodeId, b: NodeId) -> bool {
+    let mut memo = DenseMemo::new();
+    equiv_in(arena, a, b, &mut memo)
+}
+
+/// [`equiv`] with a caller-provided memo buffer (shared by both
+/// normalizations).
+pub fn equiv_in(arena: &mut ExprArena, a: NodeId, b: NodeId, memo: &mut DenseMemo<NodeId>) -> bool {
+    if a == b {
+        return true;
+    }
+    nf_in(arena, a, memo) == nf_in(arena, b, memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomTable;
+
+    fn setup() -> (AtomTable, ExprArena) {
+        (AtomTable::new(), ExprArena::new())
+    }
+
+    #[test]
+    fn nf_of_atom_and_zero_is_identity() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let z = ar.zero();
+        assert_eq!(nf(&mut ar, a), a);
+        assert_eq!(nf(&mut ar, z), z);
+    }
+
+    #[test]
+    fn example_3_2_abort_chain_normalizes() {
+        // ((p1 +M (p3 ·M p)) − p): the +M increment keyed on the deleted
+        // transaction p is absorbed (axiom 2), leaving p1 − p.
+        let (mut t, mut ar) = setup();
+        let p1 = ar.atom(t.fresh_tuple());
+        let p3 = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let dot = ar.dot_m(p3, p);
+        let md = ar.plus_m(p1, dot);
+        let e = ar.minus(md, p);
+        let want = ar.minus(p1, p);
+        assert_eq!(nf(&mut ar, e), want);
+    }
+
+    #[test]
+    fn equiv_is_reflexive_and_discriminates() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let b = ar.atom(t.fresh_tuple());
+        assert!(equiv(&mut ar, a, a));
+        assert!(!equiv(&mut ar, a, b));
+    }
+
+    #[test]
+    fn ac_variants_share_one_normal_form_id() {
+        let (mut t, mut ar) = setup();
+        let h = ar.atom(t.fresh_tuple());
+        let x = ar.atom(t.fresh_tuple());
+        let y = ar.atom(t.fresh_tuple());
+        let c1 = ar.atom(t.fresh_txn());
+        let c2 = ar.atom(t.fresh_txn());
+        let m1 = ar.dot_m(x, c1);
+        let m2 = ar.dot_m(y, c2);
+        let l = ar.plus_m(h, m1);
+        let l = ar.plus_m(l, m2);
+        let r = ar.plus_m(h, m2);
+        let r = ar.plus_m(r, m1);
+        assert_ne!(l, r);
+        let (nl, nr) = (nf(&mut ar, l), nf(&mut ar, r));
+        assert_eq!(nl, nr, "AC-equivalent spines get identical NodeIds");
+    }
+
+    #[test]
+    fn nested_rule_interaction_needs_rounds() {
+        // Build ((a +I p) − p′) where the minus head hides under a spine a
+        // later round has to revisit: (((a +M (x ·M p)) +I p) − q) +I q.
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let x = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let q = ar.atom(t.fresh_txn());
+        let dot = ar.dot_m(x, p);
+        let md = ar.plus_m(a, dot);
+        let ins = ar.plus_i(md, p); // → a +I p (axiom 9)
+        let del = ar.minus(ins, q);
+        let e = ar.plus_i(del, q); // → (a +I p) +I q (axiom 10)
+        let ip = ar.plus_i(a, p);
+        let want = ar.plus_i(ip, q);
+        assert_eq!(nf(&mut ar, e), nf(&mut ar, want));
+    }
+
+    #[test]
+    fn nf_in_reuses_memo_across_roots() {
+        let (mut t, mut ar) = setup();
+        let mut memo = DenseMemo::new();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let e1 = ar.minus(ins, p);
+        let n1 = nf_in(&mut ar, e1, &mut memo);
+        let want = ar.minus(a, p);
+        assert_eq!(n1, want);
+        let e2 = ar.minus(e1, p); // (…) − p − p → a − p (axiom 4)
+        assert_eq!(nf_in(&mut ar, e2, &mut memo), want);
+    }
+}

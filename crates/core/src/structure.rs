@@ -9,11 +9,11 @@
 //! Two evaluators are provided:
 //!
 //! * [`eval`] — the legacy evaluator over the `Arc`-based
-//!   [`Expr`](crate::expr::Expr): recursive, memoized through a
+//!   [`Expr`]: recursive, memoized through a
 //!   pointer-keyed `HashMap`. Kept as the compatibility baseline (it is the
 //!   "before" side of the benchkit suite in `benches/provenance.rs`).
 //! * [`eval_arena`] / [`eval_many`] — the hot path over the hash-consed
-//!   [`ExprArena`](crate::arena::ExprArena): **iterative** (explicit
+//!   [`ExprArena`]: **iterative** (explicit
 //!   worklist, safe on chains of any depth) with a dense `Vec<Option<V>>`
 //!   memo indexed by [`NodeId`]. [`eval_many`] additionally amortizes the
 //!   evaluation schedule across many valuations — the "abort each
@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::fmt::Debug;
 use std::sync::Arc;
 
-use crate::arena::{BinOp, ExprArena, Node, NodeId};
+use crate::arena::{BinOp, DenseMemo, ExprArena, Node, NodeId};
 use crate::atom::Atom;
 use crate::expr::{Expr, ExprRef};
 
@@ -207,21 +207,114 @@ fn eval_memo<S: UpdateStructure>(
 ///
 /// The memo is sized by `root`'s id, i.e. by the arena *prefix*, not the
 /// query's DAG. That is the right trade when the arena holds (mostly) the
-/// expression being evaluated — the common case today — but evaluating a
-/// tiny root interned late into a huge long-lived arena pays O(arena) per
-/// call; batch such queries with [`eval_many`], which amortizes the
-/// allocation across valuations (per-query memo pooling is an engine-layer
-/// open item, see `ROADMAP.md`).
+/// expression being evaluated, but evaluating many small roots against one
+/// long-lived arena reallocates the buffer per call — pool it with
+/// [`eval_arena_in`], or batch valuations with [`eval_many`].
+///
+/// ```
+/// use uprov_core::{eval_arena, AtomTable, ExprArena, Valuation};
+/// use uprov_structures::Bool;
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let p = t.fresh_txn();
+/// let x = ar.atom(t.fresh_tuple());
+/// let pa = ar.atom(p);
+/// let e = ar.dot_m(x, pa); // x ·M p: x's image under transaction p
+///
+/// assert!(eval_arena(&ar, e, &Bool, &Valuation::constant(true)));
+/// // Aborting the transaction (p := false) removes the tuple.
+/// let aborted = Valuation::constant(true).with(p, false);
+/// assert!(!eval_arena(&ar, e, &Bool, &aborted));
+/// ```
 pub fn eval_arena<S: UpdateStructure>(
     arena: &ExprArena,
     root: NodeId,
     s: &S,
     val: &Valuation<S::Value>,
 ) -> S::Value {
+    // A fresh plain vector, not a DenseMemo: a single-use memo needs no
+    // generation stamps, and the hot loops below monomorphize against the
+    // stamp-free storage.
     let mut memo: Vec<Option<S::Value>> = vec![None; root.index() + 1];
+    eval_arena_impl(arena, root, s, val, &mut memo)
+}
+
+/// [`eval_arena`] with a caller-provided [`DenseMemo`]: the generation-
+/// stamped memo is reset in O(1) per call (no reallocation, no clearing),
+/// so many small queries against one long-lived arena cost O(their own
+/// DAG) rather than O(arena prefix) each — the ROADMAP engine-layer
+/// pattern; [`eval_many_in`] and the [`crate::nf`](mod@crate::nf)
+/// normalizer use the same pooling.
+pub fn eval_arena_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut DenseMemo<S::Value>,
+) -> S::Value {
+    memo.reset(root.index() + 1);
+    eval_arena_impl(arena, root, s, val, memo)
+}
+
+/// Memo storage the arena evaluators are generic over: a plain
+/// `Vec<Option<V>>` (single use, zero per-access bookkeeping) or the
+/// pooled, generation-stamped [`DenseMemo`]. Callers prepare the storage
+/// (sized/reset for `root`) before the shared worklist loop runs.
+trait EvalMemo<T> {
+    fn get(&self, id: NodeId) -> Option<&T>;
+    fn contains(&self, id: NodeId) -> bool;
+    fn set(&mut self, id: NodeId, value: T);
+    fn take(&mut self, id: NodeId) -> Option<T>;
+}
+
+impl<T> EvalMemo<T> for Vec<Option<T>> {
+    #[inline]
+    fn get(&self, id: NodeId) -> Option<&T> {
+        self[id.index()].as_ref()
+    }
+    #[inline]
+    fn contains(&self, id: NodeId) -> bool {
+        self[id.index()].is_some()
+    }
+    #[inline]
+    fn set(&mut self, id: NodeId, value: T) {
+        self[id.index()] = Some(value);
+    }
+    #[inline]
+    fn take(&mut self, id: NodeId) -> Option<T> {
+        self[id.index()].take()
+    }
+}
+
+impl<T> EvalMemo<T> for DenseMemo<T> {
+    #[inline]
+    fn get(&self, id: NodeId) -> Option<&T> {
+        DenseMemo::get(self, id)
+    }
+    #[inline]
+    fn contains(&self, id: NodeId) -> bool {
+        DenseMemo::contains(self, id)
+    }
+    #[inline]
+    fn set(&mut self, id: NodeId, value: T) {
+        DenseMemo::set(self, id, value)
+    }
+    #[inline]
+    fn take(&mut self, id: NodeId) -> Option<T> {
+        DenseMemo::take(self, id)
+    }
+}
+
+fn eval_arena_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut M,
+) -> S::Value {
     let mut stack: Vec<NodeId> = vec![root];
     while let Some(&id) = stack.last() {
-        if memo[id.index()].is_some() {
+        if memo.contains(id) {
             stack.pop();
             continue;
         }
@@ -229,14 +322,14 @@ pub fn eval_arena<S: UpdateStructure>(
             Node::Zero => s.zero(),
             Node::Atom(a) => val.get(*a).clone(),
             Node::Bin(op, a, b) => {
-                match (&memo[a.index()], &memo[b.index()]) {
+                match (memo.get(*a), memo.get(*b)) {
                     (Some(va), Some(vb)) => s.apply_bin(*op, va, vb),
                     (va, _) => {
                         // Defer: push the missing children and revisit.
                         if va.is_none() {
                             stack.push(*a);
                         }
-                        if memo[b.index()].is_none() {
+                        if !memo.contains(*b) {
                             stack.push(*b);
                         }
                         continue;
@@ -246,7 +339,7 @@ pub fn eval_arena<S: UpdateStructure>(
             Node::Sum(ts) => {
                 let mut pushed = false;
                 for t in ts.iter() {
-                    if memo[t.index()].is_none() {
+                    if !memo.contains(*t) {
                         stack.push(*t);
                         pushed = true;
                     }
@@ -254,16 +347,13 @@ pub fn eval_arena<S: UpdateStructure>(
                 if pushed {
                     continue;
                 }
-                s.sum(
-                    ts.iter()
-                        .map(|t| memo[t.index()].as_ref().expect("children computed")),
-                )
+                s.sum(ts.iter().map(|t| memo.get(*t).expect("children computed")))
             }
         };
-        memo[id.index()] = Some(v);
+        memo.set(id, v);
         stack.pop();
     }
-    memo[root.index()].take().expect("root computed")
+    memo.take(root).expect("root computed")
 }
 
 /// Evaluates one arena node under **many** valuations, amortizing the
@@ -275,14 +365,58 @@ pub fn eval_arena<S: UpdateStructure>(
 /// paper-experiment workload "abort each transaction in turn and re-evaluate"
 /// (Section 6), where the per-valuation cost drops to one tight loop over
 /// the reachable nodes with no traversal bookkeeping at all.
+///
+/// ```
+/// use uprov_core::{eval_many, AtomTable, ExprArena, Valuation};
+/// use uprov_structures::Bool;
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let x = ar.atom(t.fresh_tuple());
+/// let p1 = t.fresh_txn();
+/// let p2 = t.fresh_txn();
+/// let a1 = ar.atom(p1);
+/// let a2 = ar.atom(p2);
+/// let d1 = ar.dot_m(x, a1);
+/// let e = ar.plus_m(d1, a2); // (x ·M p1) +M p2
+///
+/// // Abort each transaction in turn.
+/// let vals = [
+///     Valuation::constant(true).with(p1, false),
+///     Valuation::constant(true).with(p2, false),
+/// ];
+/// assert_eq!(eval_many(&ar, e, &Bool, &vals), vec![true, true]);
+/// ```
 pub fn eval_many<S: UpdateStructure>(
     arena: &ExprArena,
     root: NodeId,
     s: &S,
     valuations: &[Valuation<S::Value>],
 ) -> Vec<S::Value> {
-    let order = arena.topo_order(root);
     let mut memo: Vec<Option<S::Value>> = vec![None; root.index() + 1];
+    eval_many_impl(arena, root, s, valuations, &mut memo)
+}
+
+/// [`eval_many`] with a caller-provided [`DenseMemo`], pooling the dense
+/// buffer across batches as well as across the valuations within one batch.
+pub fn eval_many_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    memo: &mut DenseMemo<S::Value>,
+) -> Vec<S::Value> {
+    memo.reset(root.index() + 1);
+    eval_many_impl(arena, root, s, valuations, memo)
+}
+
+fn eval_many_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    memo: &mut M,
+) -> Vec<S::Value> {
+    let order = arena.topo_order(root);
     let mut out = Vec::with_capacity(valuations.len());
     for val in valuations {
         for &id in &order {
@@ -291,19 +425,16 @@ pub fn eval_many<S: UpdateStructure>(
                 Node::Atom(a) => val.get(*a).clone(),
                 Node::Bin(op, a, b) => {
                     let (va, vb) = (
-                        memo[a.index()].as_ref().expect("topological order"),
-                        memo[b.index()].as_ref().expect("topological order"),
+                        memo.get(*a).expect("topological order"),
+                        memo.get(*b).expect("topological order"),
                     );
                     s.apply_bin(*op, va, vb)
                 }
-                Node::Sum(ts) => s.sum(
-                    ts.iter()
-                        .map(|t| memo[t.index()].as_ref().expect("topological order")),
-                ),
+                Node::Sum(ts) => s.sum(ts.iter().map(|t| memo.get(*t).expect("topological order"))),
             };
-            memo[id.index()] = Some(v);
+            memo.set(id, v);
         }
-        out.push(memo[root.index()].clone().expect("root computed"));
+        out.push(memo.get(root).cloned().expect("root computed"));
     }
     out
 }

@@ -3,7 +3,7 @@
 //! iterative — construction, traversal, pretty-printing, evaluation, import
 //! and teardown all run with explicit stacks, never call-stack recursion.
 
-use uprov_core::{eval_arena, AtomTable, Expr, ExprArena, ExprRef, Valuation};
+use uprov_core::{equiv, eval_arena, nf, AtomTable, Expr, ExprArena, ExprRef, Valuation};
 use uprov_structures::Bool;
 
 const DEPTH: usize = 100_000;
@@ -60,6 +60,29 @@ fn deep_arena_import_eval_analyze_do_not_overflow() {
         aborted.set(a, false);
     }
     assert!(eval_arena(&ar, id, &Bool, &aborted));
+}
+
+#[test]
+fn deep_equiv_at_depth_100k_does_not_overflow() {
+    // Two syntactically different depth-100k update chains with the same
+    // effect: every layer of the first inserts then deletes by the same
+    // transaction ((e +I pᵢ) − pᵢ, collapsed per level by axiom 7), the
+    // second just deletes (e − pᵢ). Normalization is one iterative pass per
+    // round, so neither the 2·100k-node rewrite nor the comparison may
+    // touch the call stack.
+    let mut t = AtomTable::new();
+    let mut ar = ExprArena::new();
+    let base = ar.atom(t.fresh_tuple());
+    let (mut e1, mut e2) = (base, base);
+    for _ in 0..DEPTH {
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(e1, p);
+        e1 = ar.minus(ins, p);
+        e2 = ar.minus(e2, p);
+    }
+    assert_ne!(e1, e2, "syntactically different");
+    assert!(equiv(&mut ar, e1, e2), "equivalent at depth 100k");
+    assert_eq!(nf(&mut ar, e1), e2, "the plain chain is already normal");
 }
 
 #[test]

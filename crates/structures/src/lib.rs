@@ -12,8 +12,15 @@
 //! [`CountingMonus`] is deliberately **not** part of the verified catalogue:
 //! it is the paper's canonical *negative* example, kept public so the
 //! checker's rejection path stays exercised and documented.
+//!
+//! The verified entries double as **normal-form oracles**: because they
+//! satisfy the axioms, evaluation under them is invariant under the
+//! Figure 3 rewrite system (`uprov_core::nf`), i.e.
+//! `eval(e) == eval(nf(e))` — asserted here for every catalogue structure
+//! and exploited by the monus tests to show what rewriting would break on a
+//! structure that fails the axioms.
 
-use uprov_core::UpdateStructure;
+use uprov_core::{StructureHomomorphism, UpdateStructure};
 
 /// The Boolean deletion-propagation structure of Section 4.1.
 ///
@@ -44,6 +51,58 @@ impl UpdateStructure for Bool {
     }
     fn plus(&self, a: &bool, b: &bool) -> bool {
         *a || *b
+    }
+}
+
+/// 64 parallel Boolean possible-worlds, packed in a `u64` bitmask.
+///
+/// Bit `k` answers "does the tuple exist in hypothetical scenario `k`?", so
+/// one evaluation pass decides deletion propagation / transaction abortion
+/// for 64 what-if scenarios at once — the batched-scenario reading of the
+/// paper's experiments. Every operation acts bitwise like [`Bool`]
+/// (`+I = +M = + = ∨`, `·M = ∧`, `− = ∧¬`); the Figure 3 axioms are
+/// term identities of Boolean algebra, and every Boolean algebra is a
+/// subdirect power of the two-element one, so they hold here bit-by-bit
+/// (and are re-checked exhaustively over carrier samples in the tests).
+/// [`WorldProjection`] extracts one scenario as a structure homomorphism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Worlds;
+
+impl UpdateStructure for Worlds {
+    type Value = u64;
+    fn zero(&self) -> u64 {
+        0
+    }
+    fn plus_i(&self, a: &u64, b: &u64) -> u64 {
+        a | b
+    }
+    fn minus(&self, a: &u64, b: &u64) -> u64 {
+        a & !b
+    }
+    fn plus_m(&self, a: &u64, b: &u64) -> u64 {
+        a | b
+    }
+    fn dot_m(&self, a: &u64, b: &u64) -> u64 {
+        a & b
+    }
+    fn plus(&self, a: &u64, b: &u64) -> u64 {
+        a | b
+    }
+}
+
+/// Projects world `k` out of a [`Worlds`] value: a
+/// [`StructureHomomorphism`] onto [`Bool`], exercising Proposition 4.2
+/// (evaluation commutes with structure homomorphisms).
+///
+/// Indices ≥ 64 name worlds outside the carrier and project to `false`
+/// (the tuple exists in no such world); this keeps `apply` total instead
+/// of overflowing the shift.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldProjection(pub u8);
+
+impl StructureHomomorphism<Worlds, Bool> for WorldProjection {
+    fn apply(&self, v: &u64) -> bool {
+        v.checked_shr(u32::from(self.0)).is_some_and(|w| w & 1 == 1)
     }
 }
 
@@ -108,6 +167,120 @@ mod tests {
     fn counting_monus_satisfies_zero_axioms() {
         let report = check_zero_axioms(&CountingMonus, &[0, 1, 2, 5]);
         assert!(report.is_ok(), "failures: {:#?}", report.failures);
+    }
+
+    #[test]
+    fn catalogue_worlds_passes_all_axioms() {
+        let report = check_axioms(&Worlds, &[0, 1, 0b10, 0b1010, u64::MAX]);
+        assert!(report.is_ok(), "failures: {:#?}", report.failures);
+        assert!(report.checked > 100);
+    }
+
+    #[test]
+    fn world_projection_commutes_with_eval() {
+        use uprov_core::{eval_arena, map_valuation, AtomTable, ExprArena, Valuation};
+        let mut t = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let x = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let xa = ar.atom(x);
+        let pa = ar.atom(p);
+        let dot = ar.dot_m(xa, pa);
+        let e = ar.plus_i(dot, pa);
+        // x exists in worlds {0, 2}; p ran in worlds {0, 1}.
+        let val: Valuation<u64> = Valuation::constant(u64::MAX).with(x, 0b101).with(p, 0b011);
+        let worlds = eval_arena(&ar, e, &Worlds, &val);
+        for k in 0..3 {
+            let h = WorldProjection(k);
+            let projected = map_valuation::<Worlds, Bool, _>(&h, &val);
+            assert_eq!(
+                h.apply(&worlds),
+                eval_arena(&ar, e, &Bool, &projected),
+                "world {k}: projection must commute with evaluation"
+            );
+        }
+        // Out-of-carrier worlds project to absent rather than overflowing.
+        assert!(!WorldProjection(64).apply(&u64::MAX));
+        assert!(!WorldProjection(u8::MAX).apply(&u64::MAX));
+    }
+
+    /// The catalogue contract for the rewrite engine: structures that pass
+    /// `check_axioms` are evaluation oracles for `nf` — normalization never
+    /// changes what an expression evaluates to.
+    #[test]
+    fn nf_preserves_eval_under_every_catalogue_structure() {
+        use uprov_core::{eval_arena, nf, AtomTable, ExprArena, UpdateStructure, Valuation};
+
+        fn check<S: UpdateStructure>(s: &S, carrier: &[S::Value]) {
+            let mut t = AtomTable::new();
+            let mut ar = ExprArena::new();
+            let atoms = [
+                t.fresh_tuple(),
+                t.fresh_tuple(),
+                t.fresh_txn(),
+                t.fresh_txn(),
+            ];
+            let [a, b, p, q] = atoms.map(|at| ar.atom(at));
+            // Axiom-shaped expressions: each is the left side of a Figure 3
+            // axiom instance the rewriter actually fires on.
+            let ins = ar.plus_i(a, p);
+            let e_ax7 = ar.minus(ins, p);
+            let dot = ar.dot_m(b, p);
+            let md = ar.plus_m(a, dot);
+            let e_ax2 = ar.minus(md, p);
+            let e_ax9 = ar.plus_i(md, p);
+            let del = ar.minus(b, p);
+            let dead = ar.dot_m(del, p);
+            let e_ax5 = ar.plus_m(a, dead);
+            let sum = ar.sum([a, b]);
+            let sum_dot = ar.dot_m(sum, q);
+            let e_ax11 = ar.plus_m(ins, sum_dot);
+            for e in [e_ax7, e_ax2, e_ax9, e_ax5, e_ax11] {
+                let n = nf(&mut ar, e);
+                // Exhaust all carrier-sample valuations of the four atoms.
+                let k = carrier.len();
+                for mask in 0..k.pow(4) {
+                    let mut val = Valuation::constant(carrier[0].clone());
+                    let mut m = mask;
+                    for &at in &atoms {
+                        val.set(at, carrier[m % k].clone());
+                        m /= k;
+                    }
+                    assert_eq!(
+                        eval_arena(&ar, e, s, &val),
+                        eval_arena(&ar, n, s, &val),
+                        "nf changed evaluation"
+                    );
+                }
+            }
+        }
+
+        check(&Bool, &[false, true]);
+        check(&Worlds, &[0, 1, 0b10, 0b1010, u64::MAX]);
+    }
+
+    /// Why the catalogue excludes monus: the rewriter identifies
+    /// `(a − b) +I b` with `a +I b` (axiom 10), and monus — which fails
+    /// exactly that axiom — evaluates the two sides differently. Rewriting
+    /// under a structure that fails `check_axioms` would silently change
+    /// answers.
+    #[test]
+    fn monus_breaks_rewrite_invariance_where_the_checker_says_so() {
+        use uprov_core::{equiv, eval_arena, AtomTable, ExprArena, Valuation};
+        let mut t = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let a = t.fresh_tuple();
+        let b = t.fresh_txn();
+        let aa = ar.atom(a);
+        let ba = ar.atom(b);
+        let dela = ar.minus(aa, ba);
+        let e1 = ar.plus_i(dela, ba); // (a − b) +I b
+        let e2 = ar.plus_i(aa, ba); // a +I b
+        assert!(equiv(&mut ar, e1, e2), "axiom 10 identifies the two");
+        let val: Valuation<u32> = Valuation::constant(0).with(a, 1).with(b, 2);
+        let v1 = eval_arena(&ar, e1, &CountingMonus, &val);
+        let v2 = eval_arena(&ar, e2, &CountingMonus, &val);
+        assert_eq!((v1, v2), (2, 3), "monus tells the two sides apart");
     }
 
     #[test]
