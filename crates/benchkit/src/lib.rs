@@ -49,6 +49,7 @@ pub struct Harness {
     suite: String,
     results: Vec<BenchResult>,
     comparisons: Vec<Comparison>,
+    violations: Vec<String>,
 }
 
 const TARGET_SAMPLE_NS: u128 = 5_000_000;
@@ -57,9 +58,10 @@ const MEASURED_SAMPLES: u32 = 12;
 
 /// Smoke mode (`BENCHKIT_SMOKE=1`): one short sample per bench, no warmup —
 /// an "it runs" signal for CI, where timing numbers on shared runners are
-/// noise anyway. Returns `(target_sample_ns, warmup, measured)`.
-fn run_config() -> (u128, u32, u32) {
-    if std::env::var_os("BENCHKIT_SMOKE").is_some() {
+/// noise anyway. `force_full` opts a bench out of smoke mode (see
+/// [`Harness::bench_full`]). Returns `(target_sample_ns, warmup, measured)`.
+fn run_config(force_full: bool) -> (u128, u32, u32) {
+    if !force_full && std::env::var_os("BENCHKIT_SMOKE").is_some() {
         (200_000, 0, 1)
     } else {
         (TARGET_SAMPLE_NS, WARMUP_SAMPLES, MEASURED_SAMPLES)
@@ -74,6 +76,7 @@ impl Harness {
             suite: suite.to_owned(),
             results: Vec::new(),
             comparisons: Vec::new(),
+            violations: Vec::new(),
         }
     }
 
@@ -81,8 +84,22 @@ impl Harness {
     /// roughly 5 ms, warms up, then times `MEASURED_SAMPLES` samples (one short sample in smoke mode).
     /// Wrap inputs/outputs in [`black_box`] inside `f` to keep the optimizer
     /// honest.
-    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> &BenchResult {
-        let (target_sample_ns, warmup, measured) = run_config();
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) -> &BenchResult {
+        self.bench_inner(name, f, false)
+    }
+
+    /// Like [`bench`](Harness::bench), but always uses full sampling —
+    /// `BENCHKIT_SMOKE` is ignored. Use for benches that feed
+    /// [`guard_ratio`](Harness::guard_ratio): a guard over two single-sample
+    /// smoke timings on a shared CI runner would flake on scheduler noise,
+    /// so guarded measurements keep the calibrated multi-sample protocol
+    /// even in smoke mode.
+    pub fn bench_full(&mut self, name: &str, f: impl FnMut()) -> &BenchResult {
+        self.bench_inner(name, f, true)
+    }
+
+    fn bench_inner(&mut self, name: &str, mut f: impl FnMut(), force_full: bool) -> &BenchResult {
+        let (target_sample_ns, warmup, measured) = run_config(force_full);
         // Discard one cold call outright (lazy allocation, cache/page
         // faults), then calibrate by doubling the batch until one probe runs
         // ≥ 1 ms — the estimate always comes from warmed, measurably long
@@ -159,6 +176,32 @@ impl Harness {
         speedup
     }
 
+    /// Records the comparison `name` = `median(big) / median(small)` and
+    /// flags a **violation** if the ratio exceeds `max_ratio` — the simple
+    /// scaling guard for complexity regressions (e.g. a bench at 4× the
+    /// input size must stay well under the 16× a quadratic algorithm would
+    /// cost). Violations make [`Harness::finish`] exit non-zero, failing
+    /// CI, *after* the JSON report is written. Returns the measured ratio.
+    ///
+    /// Pick `max_ratio` with smoke-mode noise in mind: single-sample
+    /// timings on shared CI runners jitter, so guard against the
+    /// complexity-class blowup, not a few percent.
+    pub fn guard_ratio(&mut self, name: &str, big: &str, small: &str, max_ratio: f64) -> f64 {
+        let ratio = self.compare(name, big, small);
+        if ratio > max_ratio {
+            let msg =
+                format!("{name}: ratio {ratio:.2}x exceeds the {max_ratio:.2}x scaling guard");
+            eprintln!("  GUARD VIOLATION: {msg}");
+            self.violations.push(msg);
+        }
+        ratio
+    }
+
+    /// Guard violations recorded so far (see [`Harness::guard_ratio`]).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
     /// Serializes the full report as JSON (hand-rolled: no serde offline).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -179,6 +222,19 @@ impl Harness {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\"{}\n",
+                escape(v),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"comparisons\": [\n");
         for (i, c) in self.comparisons.iter().enumerate() {
             s.push_str(&format!(
@@ -196,14 +252,25 @@ impl Harness {
         s
     }
 
-    /// Writes the JSON report to `$BENCHKIT_OUT` if that variable is set.
-    /// Call at the end of the bench `main`.
+    /// Writes the JSON report to `$BENCHKIT_OUT` if that variable is set,
+    /// then terminates the process with a non-zero exit code if any
+    /// [`guard_ratio`](Harness::guard_ratio) violation was recorded (so a
+    /// complexity regression fails `cargo bench` — and CI — while the
+    /// report survives for inspection). Call at the end of the bench
+    /// `main`.
     pub fn finish(&self) {
         if let Ok(path) = std::env::var("BENCHKIT_OUT") {
             match std::fs::write(&path, self.to_json()) {
                 Ok(()) => eprintln!("benchkit: wrote {path}"),
                 Err(e) => eprintln!("benchkit: failed to write {path}: {e}"),
             }
+        }
+        if !self.violations.is_empty() {
+            eprintln!("benchkit: {} guard violation(s):", self.violations.len());
+            for v in &self.violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
         }
     }
 }
@@ -260,6 +327,28 @@ mod tests {
         });
         let speedup = h.compare("ratio", "slow", "fast");
         assert!((speedup - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_ratio_records_violations_only_above_max() {
+        let mut h = Harness::new("selftest");
+        for (name, ns) in [("n100", 100.0), ("n400", 450.0)] {
+            h.results.push(BenchResult {
+                name: name.into(),
+                iters_per_sample: 1,
+                samples: 1,
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+            });
+        }
+        // 4.5x at 4x size: fine under a 9x guard, a violation under 2x.
+        let r = h.guard_ratio("scaling/ok", "n400", "n100", 9.0);
+        assert!((r - 4.5).abs() < 1e-9);
+        assert!(h.violations().is_empty());
+        h.guard_ratio("scaling/bad", "n400", "n100", 2.0);
+        assert_eq!(h.violations().len(), 1);
+        assert!(h.violations()[0].contains("scaling/bad"));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use benchkit::{black_box, Harness};
 use uprov_core::{
     equiv_in, eval, eval_arena, eval_arena_in, eval_many, nf, nf_in, Atom, AtomTable, DenseMemo,
-    Expr, ExprArena, ExprRef, NodeId, Valuation,
+    Expr, ExprArena, ExprRef, NfMemo, NodeId, Valuation,
 };
 use uprov_structures::Bool;
 
@@ -163,7 +163,7 @@ fn main() {
         .iter()
         .rev()
         .fold(ac_head, |acc, &m| ar_ac.plus_m(acc, m));
-    let mut nf_pool: DenseMemo<NodeId> = DenseMemo::new();
+    let mut nf_pool = NfMemo::new();
     h.bench("arena/equiv/acspine200", || {
         assert!(equiv_in(black_box(&mut ar_ac), fwd, rev, &mut nf_pool));
     });
@@ -216,7 +216,7 @@ fn main() {
     // Pooled normalization of the same late small root: the DFS rewrite
     // pass visits only the query's DAG, so this too is O(query), not
     // O(arena prefix).
-    let mut nf_small_pool: DenseMemo<NodeId> = DenseMemo::new();
+    let mut nf_small_pool = NfMemo::new();
     h.bench("arena/nf_smallroot/pooled", || {
         black_box(nf_in(black_box(&mut ar_deep), small, &mut nf_small_pool));
     });

@@ -562,7 +562,39 @@ impl ExprArena {
         memo: &mut DenseMemo<NodeId>,
         step: &mut dyn FnMut(&mut ExprArena, NodeId) -> NodeId,
     ) -> NodeId {
+        self.rewrite_pass_tracked_in(root, memo, &mut |arena, _orig, rebuilt| {
+            step(arena, rebuilt)
+        })
+    }
+
+    /// [`rewrite_pass_in`](ExprArena::rewrite_pass_in) where `step` also
+    /// receives the **original** id being visited (first `NodeId` argument),
+    /// alongside the rebuilt id. Original ids are always `≤ root`, so they
+    /// can index side tables computed over the pre-pass DAG — the
+    /// [`crate::nf`](mod@crate::nf) normalizer uses this to skip interior
+    /// nodes of `+I`/`+M` blocks it already canonicalized at their top.
+    pub fn rewrite_pass_tracked_in(
+        &mut self,
+        root: NodeId,
+        memo: &mut DenseMemo<NodeId>,
+        step: &mut dyn FnMut(&mut ExprArena, NodeId, NodeId) -> NodeId,
+    ) -> NodeId {
         memo.reset(root.index() + 1);
+        self.rewrite_fill(root, memo, step);
+        memo.get(root).copied().expect("root computed")
+    }
+
+    /// The shared worklist loop behind the rewrite passes: ensures `memo`
+    /// maps `root` (and its whole sub-DAG) to images, without resetting the
+    /// memo first — so multi-root drivers
+    /// ([`substitute_roots_in`](ExprArena::substitute_roots_in)) can share
+    /// one generation across roots.
+    pub(crate) fn rewrite_fill(
+        &mut self,
+        root: NodeId,
+        memo: &mut DenseMemo<NodeId>,
+        step: &mut dyn FnMut(&mut ExprArena, NodeId, NodeId) -> NodeId,
+    ) {
         let mut stack: Vec<NodeId> = vec![root];
         while let Some(&id) = stack.last() {
             if memo.contains(id) {
@@ -615,11 +647,89 @@ impl ExprArena {
                 Plan::Bin(op, ia, ib) => self.bin(op, ia, ib),
                 Plan::Sum(images) => self.sum(images),
             };
-            let image = step(self, rebuilt);
+            let image = step(self, id, rebuilt);
             memo.set(id, image);
             stack.pop();
         }
-        memo.take(root).expect("root computed")
+    }
+
+    /// Substitutes expressions for atoms under `root`: every leaf whose atom
+    /// is a key of `map` is replaced by the mapped id, and all ancestors are
+    /// rebuilt through the smart constructors — so the zero axioms re-fire
+    /// wherever a substituted `0` collapses an operand (the transaction-abort
+    /// query "substitute `T ↦ 0` and simplify" of Section 4.1).
+    ///
+    /// The substitution is applied **once** (images are not themselves
+    /// re-substituted), and unmapped structure is preserved with maximal
+    /// sharing: untouched sub-DAGs keep their ids.
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use uprov_core::{AtomTable, ExprArena};
+    ///
+    /// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+    /// let x = t.fresh_tuple();
+    /// let p = t.fresh_txn();
+    /// let xa = ar.atom(x);
+    /// let pa = ar.atom(p);
+    /// let ins = ar.plus_i(xa, pa);
+    /// let e = ar.minus(ins, pa); // (x +I p) − p
+    ///
+    /// // Abort p: the insertion and the deletion both vanish.
+    /// let aborted = ar.substitute(e, &HashMap::from([(p, ExprArena::ZERO)]));
+    /// assert_eq!(aborted, xa);
+    /// ```
+    pub fn substitute(&mut self, root: NodeId, map: &HashMap<Atom, NodeId>) -> NodeId {
+        let mut memo = DenseMemo::new();
+        self.substitute_in(root, map, &mut memo)
+    }
+
+    /// [`substitute`](ExprArena::substitute) with a caller-provided
+    /// [`DenseMemo`], for many substitutions against one long-lived arena
+    /// (the engine-layer abort-query pattern). One bottom-up
+    /// [`rewrite_pass_in`](ExprArena::rewrite_pass_in) — iterative, memoized,
+    /// O(the root's DAG).
+    pub fn substitute_in(
+        &mut self,
+        root: NodeId,
+        map: &HashMap<Atom, NodeId>,
+        memo: &mut DenseMemo<NodeId>,
+    ) -> NodeId {
+        self.substitute_roots_in(&[root], map, memo)[0]
+    }
+
+    /// Substitutes one atom map into **many roots**, sharing the memo
+    /// generation across them: sub-DAGs common to several roots are rebuilt
+    /// once, so substituting a transaction abort into every tuple of a
+    /// replayed log costs O(union DAG), not O(Σ per-root DAGs) — the
+    /// rewrite-side analogue of
+    /// [`eval_roots_in`](crate::structure::eval_roots_in). Images are
+    /// returned in `roots` order.
+    pub fn substitute_roots_in(
+        &mut self,
+        roots: &[NodeId],
+        map: &HashMap<Atom, NodeId>,
+        memo: &mut DenseMemo<NodeId>,
+    ) -> Vec<NodeId> {
+        let len = roots.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+        memo.reset(len);
+        // Match on the ORIGINAL node: a parent that zero-collapses onto an
+        // atom image must not have the map applied a second time (the
+        // documented applied-once contract).
+        let mut step =
+            |arena: &mut ExprArena, orig: NodeId, rebuilt: NodeId| match *arena.node(orig) {
+                Node::Atom(a) => map.get(&a).copied().unwrap_or(rebuilt),
+                _ => rebuilt,
+            };
+        roots
+            .iter()
+            .map(|&root| {
+                if !memo.contains(root) {
+                    self.rewrite_fill(root, memo, &mut step);
+                }
+                memo.get(root).copied().expect("root computed")
+            })
+            .collect()
     }
 
     /// Atoms occurring under `root`, deduplicated, in first-occurrence
@@ -809,6 +919,85 @@ mod tests {
         assert_eq!(memo.take(far), None);
         let fresh: DenseMemo<u32> = DenseMemo::new();
         assert!(fresh.get(far).is_none(), "unreset memo answers None");
+    }
+
+    #[test]
+    fn substitute_rebuilds_and_refires_zero_axioms() {
+        let (mut t, mut ar) = setup();
+        let x = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let q = t.fresh_txn();
+        let xa = ar.atom(x);
+        let pa = ar.atom(p);
+        let qa = ar.atom(q);
+        let dot = ar.dot_m(xa, pa);
+        let md = ar.plus_m(xa, dot);
+        let e = ar.minus(md, qa); // (x +M (x ·M p)) − q
+                                  // Abort p: the ·M p increment collapses to 0 and the +M drops it.
+        let aborted = ar.substitute(e, &HashMap::from([(p, ExprArena::ZERO)]));
+        let want = ar.minus(xa, qa);
+        assert_eq!(aborted, want);
+        // Unmapped roots are untouched (same id, maximal sharing kept).
+        assert_eq!(ar.substitute(e, &HashMap::new()), e);
+        // Applied once: a parent that zero-collapses onto a mapped atom's
+        // image is NOT re-substituted. (x +M (x ·M p)) with {x↦q, p↦0}:
+        // the dot dies, the +M collapses onto x's image q — and q, though
+        // an atom, must not be chased further even if it were mapped.
+        let s = t.fresh_tuple();
+        let sa = ar.atom(s);
+        let chained = ar.substitute(e, &HashMap::from([(x, qa), (q, sa), (p, ExprArena::ZERO)]));
+        let want_once = ar.minus(qa, sa);
+        assert_eq!(
+            chained, want_once,
+            "x↦q applied once; q's own mapping must not fire on the image"
+        );
+        // Substituting a non-zero expression works too, applied once.
+        let swapped = ar.substitute(e, &HashMap::from([(x, qa)]));
+        let qdot = ar.dot_m(qa, pa);
+        let qmd = ar.plus_m(qa, qdot);
+        let want2 = ar.minus(qmd, qa);
+        assert_eq!(swapped, want2);
+    }
+
+    #[test]
+    fn substitute_roots_shares_work_and_agrees_with_per_root() {
+        let (mut t, mut ar) = setup();
+        let x = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let xa = ar.atom(x);
+        let pa = ar.atom(p);
+        let shared = ar.dot_m(xa, pa);
+        let r1 = ar.plus_m(xa, shared);
+        let r2 = ar.minus(shared, pa);
+        let map = HashMap::from([(p, ExprArena::ZERO)]);
+        let mut memo = DenseMemo::new();
+        let batch = ar.substitute_roots_in(&[r1, r2, r1, ExprArena::ZERO], &map, &mut memo);
+        let per_root: Vec<NodeId> = [r1, r2, r1, ExprArena::ZERO]
+            .iter()
+            .map(|&r| ar.substitute(r, &map))
+            .collect();
+        assert_eq!(batch, per_root);
+        assert_eq!(batch[0], xa, "x +M (x ·M 0) collapses to x");
+        assert_eq!(batch[1], ExprArena::ZERO, "(x ·M 0) − 0 collapses to 0");
+        assert_eq!(batch[0], batch[2], "repeated roots served from the memo");
+    }
+
+    #[test]
+    fn tracked_pass_reports_original_ids() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let e = ar.plus_i(a, p);
+        let mut memo = DenseMemo::new();
+        let mut seen = Vec::new();
+        let out = ar.rewrite_pass_tracked_in(e, &mut memo, &mut |_, orig, rebuilt| {
+            seen.push((orig, rebuilt));
+            rebuilt
+        });
+        assert_eq!(out, e);
+        // Every visited original id is ≤ root and maps to itself here.
+        assert!(seen.iter().all(|&(o, r)| o <= e && o == r));
+        assert_eq!(seen.len(), 3, "a, p, a +I p");
     }
 
     #[test]

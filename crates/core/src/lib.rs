@@ -22,10 +22,14 @@
 //! sharing one table ([`axioms::FIGURE_3`]): as checkable *laws* over a
 //! concrete structure ([`axioms::check_axioms`]) and as *directed rewrite
 //! rules* over the arena ([`rewrite`]). The saturating normalizer [`nf::nf`]
-//! drives the rules to a fixpoint, and [`nf::equiv`] decides equivalence of
-//! provenance expressions / transaction effects by comparing normal-form
-//! ids. See `docs/PAPER_MAP.md` at the repository root for the full
-//! paper↔code cross-reference.
+//! drives the rules to a fixpoint (block-once over the `+I`/`+M` spines, so
+//! long blocks normalize in O(block log block)), and [`nf::equiv`] decides
+//! equivalence of provenance expressions / transaction effects by comparing
+//! normal-form ids. The transaction-log replay engine built on these hooks
+//! (`ExprArena::substitute`, [`structure::eval_roots_in`],
+//! [`nf::try_equiv_in`]) lives in the `uprov-engine` crate. See
+//! `docs/PAPER_MAP.md` at the repository root for the full paper↔code
+//! cross-reference.
 
 pub mod arena;
 pub mod atom;
@@ -41,9 +45,12 @@ pub use axioms::{
     axiom_info, check_axioms, check_zero_axioms, AxiomFailure, AxiomInfo, AxiomReport, FIGURE_3,
 };
 pub use expr::{Expr, ExprRef};
-pub use nf::{equiv, equiv_in, nf, nf_in};
+pub use nf::{
+    equiv, equiv_in, nf, nf_budget_in, nf_in, nf_roots_budget_in, nf_roots_in, try_equiv_budget_in,
+    try_equiv_in, NfMemo, NfOutcome, MAX_ROUNDS,
+};
 pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{
-    eval, eval_arena, eval_arena_in, eval_many, eval_many_in, map_valuation, StructureHomomorphism,
-    UpdateStructure, Valuation,
+    eval, eval_arena, eval_arena_in, eval_many, eval_many_in, eval_roots_in, map_valuation,
+    StructureHomomorphism, UpdateStructure, Valuation,
 };

@@ -4,7 +4,7 @@
 //! [`nf`] drives the directed Figure 3 rules of [`crate::rewrite`] to a
 //! fixpoint: each **round** is one iterative bottom-up pass over the
 //! reachable sub-DAG in the arena's topological order
-//! ([`ExprArena::rewrite_pass_in`]) — children first, a dense
+//! ([`ExprArena::rewrite_pass_tracked_in`]) — children first, a dense
 //! [`DenseMemo`]`<NodeId>` keyed by [`NodeId`], no recursion anywhere, so a
 //! depth-100 000 update chain normalizes without touching the call stack —
 //! and rounds repeat until the root's image stops changing (rules can
@@ -12,11 +12,28 @@
 //! per-node reduction on the next pass). Termination of the rule system
 //! itself is argued in the [`crate::rewrite`] module docs.
 //!
-//! Depth safety is about the *call stack*; wall-clock is a separate
-//! budget: reduction at a `+I`/`+M` spine node re-walks the maximal block
-//! below it, so one very long block costs O(block²) per round (fine for
-//! the block lengths of the paper's workloads; see the NF hot-spot note in
-//! `ROADMAP.md` before pointing the normalizer at 100k-increment spines).
+//! # Block-once canonicalization
+//!
+//! Every rule decomposes the maximal `+I`/`+M` block below the node it
+//! fires at, so running the per-node reduction at *every* spine node makes
+//! one very long unsorted block cost O(block²) per round. Instead, each
+//! round first marks the **interior** nodes of every maximal `+I`/`+M`
+//! spine (nodes whose parent in the spine carries the same operator) and
+//! the pass skips reduction there, reducing each block exactly **once at
+//! its top node** — O(block log block) per round (the log from sorting
+//! into canonical spine form). This is sound because every rule matches on
+//! the block *head* or on *individual increments*, both shared between a
+//! block and its prefixes, so any redex visible at an interior node is
+//! also visible at the top (the whole-block matching of
+//! [`crate::rewrite::INSERT_ABSORBS_DELETE`] and
+//! [`crate::rewrite::INSERT_ABSORBS_MOD`] exists for exactly this
+//! reason); and an interior node shared into another context (a `·M`
+//! source, a `Σ` term) either stops being interior once its block's top
+//! rebuilds, or remains a prefix of a saturated block — and a prefix of a
+//! canonical block is canonical. Long log-replay spines (10k sequential
+//! inserts to one tuple) therefore normalize in near-linear time; the
+//! `nf/acspine` scaling benches in `BENCH_pr3.json` are the regression
+//! guard.
 //!
 //! Because every rewrite re-interns through the hash-consing smart
 //! constructors, normal forms inherit the arena's guarantees: two
@@ -27,6 +44,18 @@
 //! evaluation under any axiom-satisfying Update-Structure is invariant
 //! under these rewrites: `eval(e) == eval(nf(e))` is property-tested for
 //! every catalogue structure.
+//!
+//! # Saturation is surfaced, not swallowed
+//!
+//! The round budget ([`MAX_ROUNDS`]) is a backstop against a
+//! (theoretically excluded) rule cycle. [`nf_in`] reports hitting it
+//! through [`NfOutcome::saturated`] instead of silently returning a
+//! best-effort id: a saturated result is still *sound* (reachable from the
+//! input by valid rewrites) but may not be fully normal, so comparing two
+//! saturated ids cannot prove **in**equivalence. [`try_equiv_in`] returns
+//! `None` in that case; the infallible [`equiv`]/[`equiv_in`] keep their
+//! `bool` signature (treating "undecided" as `false`, loudly in debug
+//! builds) and the engine layer checks outcomes explicitly.
 //!
 //! # Example
 //!
@@ -44,26 +73,52 @@
 //! assert_eq!(nf(&mut ar, e1), want); // axiom 7
 //! ```
 
-use crate::arena::{DenseMemo, ExprArena, NodeId};
+use crate::arena::{BinOp, DenseMemo, ExprArena, Node, NodeId};
 use crate::rewrite::reduce;
 
-/// Rounds after which [`nf`] gives up and returns its best-effort result.
-/// Each round reduces every reachable node, so in practice two or three
-/// rounds suffice; the cap is a loud backstop against a (theoretically
-/// excluded, see the termination argument in [`crate::rewrite`]) rule
-/// cycle. Hitting it is a bug, reported by `debug_assert`; the release
-/// fallback stays *sound* — every returned id is reachable from the input
-/// by valid rewrites, it may just not be fully normal.
-const MAX_ROUNDS: usize = 64;
+/// Round budget for [`nf`]/[`nf_in`]. Each round reduces every reachable
+/// block top, so in practice two or three rounds suffice; the cap is a loud
+/// backstop against a (theoretically excluded, see the termination argument
+/// in [`crate::rewrite`]) rule cycle. Exhausting it is reported through
+/// [`NfOutcome::saturated`]; the returned id stays *sound* — reachable from
+/// the input by valid rewrites — it may just not be fully normal.
+pub const MAX_ROUNDS: u32 = 64;
+
+/// The result of a normalization: the (possibly best-effort) image id plus
+/// how the fixpoint search ended.
+///
+/// `saturated == false` means a round mapped the root to itself, i.e. `id`
+/// is the true normal form. `saturated == true` means the round budget ran
+/// out first; `id` is rewrite-reachable from the input but not certified
+/// normal, so id comparison against it can prove equivalence (ids equal)
+/// but never inequivalence — see [`try_equiv_in`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NfOutcome {
+    /// The root's image after the last completed round.
+    pub id: NodeId,
+    /// Rounds actually run (including the final confirming round).
+    pub rounds: u32,
+    /// True iff the budget was exhausted before a round confirmed a
+    /// fixpoint.
+    pub saturated: bool,
+}
+
+impl NfOutcome {
+    /// True iff `id` is a certified normal form.
+    pub fn is_normal(&self) -> bool {
+        !self.saturated
+    }
+}
 
 /// Normalizes `root` under the directed Figure 3 rule system, returning the
 /// normal form's id.
 ///
 /// Saturating and bottom-up: rounds of one iterative pass each (children
 /// before parents, dense memo, no recursion — chains 100 000 deep are
-/// fine), until a round maps the root to itself. Allocates a fresh memo per
-/// call; use [`nf_in`] with a pooled [`DenseMemo`] for many roots against
-/// one long-lived arena.
+/// fine), until a round maps the root to itself; each maximal `+I`/`+M`
+/// block is canonicalized once at its top node (see the module docs).
+/// Allocates fresh scratch buffers per call; use [`nf_in`] with a pooled
+/// [`NfMemo`] for many roots against one long-lived arena.
 ///
 /// ```
 /// use uprov_core::{nf, AtomTable, ExprArena};
@@ -83,25 +138,204 @@ const MAX_ROUNDS: usize = 64;
 /// assert_eq!(nf(&mut ar, a), a);
 /// ```
 pub fn nf(arena: &mut ExprArena, root: NodeId) -> NodeId {
-    let mut memo = DenseMemo::new();
-    nf_in(arena, root, &mut memo)
+    let mut memo = NfMemo::new();
+    let out = nf_in(arena, root, &mut memo);
+    debug_assert!(
+        !out.saturated,
+        "nf did not stabilize within {MAX_ROUNDS} rounds"
+    );
+    out.id
 }
 
-/// [`nf`] with a caller-provided [`DenseMemo`], so many normalizations
-/// against one long-lived arena reuse a single allocation (the engine-layer
-/// "many small queries" pattern; see also
-/// [`eval_arena_in`](crate::structure::eval_arena_in)).
-pub fn nf_in(arena: &mut ExprArena, root: NodeId, memo: &mut DenseMemo<NodeId>) -> NodeId {
-    let mut cur = root;
-    for _ in 0..MAX_ROUNDS {
-        let next = arena.rewrite_pass_in(cur, memo, &mut |ar, id| reduce(ar, id));
-        if next == cur {
-            return cur;
-        }
-        cur = next;
+/// Pooled scratch state for the normalizer: the rewrite memo plus the
+/// generation-stamped spine-interior flag buffer, both reusable across many
+/// normalizations against one long-lived arena.
+///
+/// Both buffers reset in O(1) per use (one-time growth aside), so a pooled
+/// normalization of a small root late in a huge arena costs O(its DAG) per
+/// round — the same contract as [`eval_arena_in`](crate::structure::eval_arena_in).
+#[derive(Debug, Default)]
+pub struct NfMemo {
+    map: DenseMemo<NodeId>,
+    flags: DenseMemo<u8>,
+}
+
+impl NfMemo {
+    /// Empty scratch state; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    debug_assert!(false, "nf did not stabilize within {MAX_ROUNDS} rounds");
-    cur
+}
+
+/// [`nf`] with a caller-provided [`NfMemo`] and an explicit
+/// [`NfOutcome`], so many normalizations against one long-lived arena reuse
+/// a single set of allocations (the engine-layer "many small queries"
+/// pattern) and callers can check [`NfOutcome::saturated`] instead of
+/// trusting the id blindly.
+pub fn nf_in(arena: &mut ExprArena, root: NodeId, memo: &mut NfMemo) -> NfOutcome {
+    nf_budget_in(arena, root, memo, MAX_ROUNDS)
+}
+
+/// [`nf_in`] with an explicit round budget. `max_rounds == 0` runs no
+/// rounds at all and reports `saturated` with the untouched root — useful
+/// for testing saturation handling; real callers want [`MAX_ROUNDS`].
+pub fn nf_budget_in(
+    arena: &mut ExprArena,
+    root: NodeId,
+    memo: &mut NfMemo,
+    max_rounds: u32,
+) -> NfOutcome {
+    nf_roots_budget_in(arena, &[root], memo, max_rounds)
+        .pop()
+        .expect("one root in, one outcome out")
+}
+
+/// Normalizes **many roots**, sharing each round's pass across all of them:
+/// sub-DAGs common to several roots reduce once per round, so normalizing
+/// every tuple of a replayed transaction log costs O(union DAG) per round
+/// rather than O(Σ per-root DAGs) — the normalizer-side analogue of
+/// [`eval_roots_in`](crate::structure::eval_roots_in) and
+/// [`ExprArena::substitute_roots_in`]. Outcomes are returned in `roots`
+/// order; repeated roots are cheap (memo hits).
+pub fn nf_roots_in(arena: &mut ExprArena, roots: &[NodeId], memo: &mut NfMemo) -> Vec<NfOutcome> {
+    nf_roots_budget_in(arena, roots, memo, MAX_ROUNDS)
+}
+
+/// [`nf_roots_in`] with an explicit round budget (see [`nf_budget_in`]).
+pub fn nf_roots_budget_in(
+    arena: &mut ExprArena,
+    roots: &[NodeId],
+    memo: &mut NfMemo,
+    max_rounds: u32,
+) -> Vec<NfOutcome> {
+    let NfMemo { map, flags } = memo;
+    let mut out: Vec<NfOutcome> = roots
+        .iter()
+        .map(|&r| NfOutcome {
+            id: r,
+            rounds: max_rounds,
+            saturated: true,
+        })
+        .collect();
+    if out.is_empty() {
+        return out;
+    }
+    for round in 0..max_rounds {
+        let len = out.iter().map(|o| o.id.index() + 1).max().unwrap_or(0);
+        // One marking sweep and one rewrite pass per round, shared across
+        // the whole batch: the VISITED stamp makes both DFSes skip
+        // sub-DAGs another root already covered this round.
+        flags.reset(len);
+        for o in out.iter() {
+            mark_spine_interiors_into(arena, o.id, flags);
+        }
+        map.reset(len);
+        let marked: &DenseMemo<u8> = flags;
+        let mut step = |ar: &mut ExprArena, orig: NodeId, rebuilt: NodeId| {
+            if skips_reduction(ar, marked, orig, rebuilt) {
+                rebuilt
+            } else {
+                reduce(ar, rebuilt)
+            }
+        };
+        let mut any_changed = false;
+        for o in out.iter_mut() {
+            let cur = o.id;
+            if !map.contains(cur) {
+                arena.rewrite_fill(cur, map, &mut step);
+            }
+            let mut next = map.get(cur).copied().expect("root computed");
+            // A root can be an interior spine node of *another* root's
+            // block (impossible for single-root calls, where no parent is
+            // reachable): the shared pass then skipped its top-level
+            // reduction on behalf of that other root's block top. The root
+            // is its own block top here, so reduce it explicitly.
+            if skips_reduction(arena, marked, cur, next) {
+                next = reduce(arena, next);
+            }
+            if next != cur {
+                o.id = next;
+                any_changed = true;
+            }
+        }
+        // Certification is all-or-nothing: interior marks are unioned
+        // across the batch, so a root can map to itself merely because a
+        // *sibling's* marks suppressed reduction inside it while that
+        // sibling was still rewriting. Only a round in which no root moved
+        // proves a fixpoint — then every skipped node is a prefix of some
+        // now-saturated block top reachable from the batch, hence
+        // canonical (the single-root argument lifted to the union).
+        if !any_changed {
+            for o in out.iter_mut() {
+                o.saturated = false;
+                o.rounds = round + 1;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// Interior-marking bit: the node is the left child of a `+I` node.
+const INTERIOR_I: u8 = 1;
+/// Interior-marking bit: the node is the left child of a `+M` node.
+const INTERIOR_M: u8 = 2;
+/// Traversal bit: the node itself has been visited by the marking DFS.
+const VISITED: u8 = 4;
+
+/// Marks the interior nodes of every maximal `+I`/`+M` spine reachable from
+/// `root`: after the sweep, `flags` holds `INTERIOR_*` for exactly the
+/// nodes some reachable same-operator parent has as its left (spine)
+/// child. One explicit-stack DFS over the root's sub-DAG — O(DAG) per
+/// round thanks to the generation-stamped buffer (growth to the root's
+/// prefix happens once per pooled buffer, not per round).
+fn mark_spine_interiors_into(arena: &ExprArena, root: NodeId, flags: &mut DenseMemo<u8>) {
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let bits = flags.get(id).copied().unwrap_or(0);
+        if bits & VISITED != 0 {
+            continue;
+        }
+        flags.set(id, bits | VISITED);
+        match arena.node(id) {
+            Node::Zero | Node::Atom(_) => {}
+            Node::Bin(op, a, b) => {
+                if let op @ (BinOp::PlusI | BinOp::PlusM) = *op {
+                    if matches!(*arena.node(*a), Node::Bin(o, ..) if o == op) {
+                        let abits = flags.get(*a).copied().unwrap_or(0);
+                        let bit = if op == BinOp::PlusI {
+                            INTERIOR_I
+                        } else {
+                            INTERIOR_M
+                        };
+                        flags.set(*a, abits | bit);
+                    }
+                }
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Node::Sum(ts) => stack.extend_from_slice(ts),
+        }
+    }
+}
+
+/// True iff `rebuilt` is an interior spine node of a block whose top will
+/// reduce it wholesale: the original id was marked interior for the same
+/// operator the rebuilt node still carries. (If child images changed the
+/// operator — e.g. a zero collapse — the node is reduced normally and the
+/// stale marking is ignored.)
+fn skips_reduction(
+    arena: &ExprArena,
+    flags: &DenseMemo<u8>,
+    orig: NodeId,
+    rebuilt: NodeId,
+) -> bool {
+    let bit = match arena.node(rebuilt) {
+        Node::Bin(BinOp::PlusI, ..) => INTERIOR_I,
+        Node::Bin(BinOp::PlusM, ..) => INTERIOR_M,
+        _ => return false,
+    };
+    flags.get(orig).copied().unwrap_or(0) & bit != 0
 }
 
 /// Decides equivalence of two provenance expressions (or transaction
@@ -128,17 +362,56 @@ pub fn nf_in(arena: &mut ExprArena, root: NodeId, memo: &mut DenseMemo<NodeId>) 
 /// assert!(!equiv(&mut ar, e1, a));
 /// ```
 pub fn equiv(arena: &mut ExprArena, a: NodeId, b: NodeId) -> bool {
-    let mut memo = DenseMemo::new();
+    let mut memo = NfMemo::new();
     equiv_in(arena, a, b, &mut memo)
 }
 
 /// [`equiv`] with a caller-provided memo buffer (shared by both
-/// normalizations).
-pub fn equiv_in(arena: &mut ExprArena, a: NodeId, b: NodeId, memo: &mut DenseMemo<NodeId>) -> bool {
+/// normalizations). "Undecided" (a normalization saturated with differing
+/// ids — see [`try_equiv_in`]) is reported as `false`, loudly in debug
+/// builds; callers that must distinguish should use [`try_equiv_in`].
+pub fn equiv_in(arena: &mut ExprArena, a: NodeId, b: NodeId, memo: &mut NfMemo) -> bool {
+    try_equiv_in(arena, a, b, memo).unwrap_or_else(|| {
+        debug_assert!(false, "equiv undecided: normalization saturated");
+        false
+    })
+}
+
+/// Three-valued equivalence: `Some(true)` / `Some(false)` when normal-form
+/// comparison decides, `None` when it cannot — a normalization exhausted its
+/// round budget ([`NfOutcome::saturated`]) and the best-effort ids differ,
+/// which proves nothing (two equivalent expressions can have distinct
+/// non-normal images). Equal ids decide `true` even under saturation: every
+/// intermediate image is rewrite-reachable, hence equivalent to its input.
+pub fn try_equiv_in(
+    arena: &mut ExprArena,
+    a: NodeId,
+    b: NodeId,
+    memo: &mut NfMemo,
+) -> Option<bool> {
+    try_equiv_budget_in(arena, a, b, memo, MAX_ROUNDS)
+}
+
+/// [`try_equiv_in`] with an explicit round budget (see [`nf_budget_in`]).
+pub fn try_equiv_budget_in(
+    arena: &mut ExprArena,
+    a: NodeId,
+    b: NodeId,
+    memo: &mut NfMemo,
+    max_rounds: u32,
+) -> Option<bool> {
     if a == b {
-        return true;
+        return Some(true);
     }
-    nf_in(arena, a, memo) == nf_in(arena, b, memo)
+    let na = nf_budget_in(arena, a, memo, max_rounds);
+    let nb = nf_budget_in(arena, b, memo, max_rounds);
+    if na.id == nb.id {
+        Some(true)
+    } else if na.saturated || nb.saturated {
+        None
+    } else {
+        Some(false)
+    }
 }
 
 #[cfg(test)]
@@ -224,15 +497,173 @@ mod tests {
     #[test]
     fn nf_in_reuses_memo_across_roots() {
         let (mut t, mut ar) = setup();
-        let mut memo = DenseMemo::new();
+        let mut memo = NfMemo::new();
         let a = ar.atom(t.fresh_tuple());
         let p = ar.atom(t.fresh_txn());
         let ins = ar.plus_i(a, p);
         let e1 = ar.minus(ins, p);
-        let n1 = nf_in(&mut ar, e1, &mut memo);
+        let out1 = nf_in(&mut ar, e1, &mut memo);
         let want = ar.minus(a, p);
-        assert_eq!(n1, want);
+        assert_eq!(out1.id, want);
+        assert!(out1.is_normal());
+        assert!(out1.rounds >= 2, "one rewriting round plus the confirmer");
         let e2 = ar.minus(e1, p); // (…) − p − p → a − p (axiom 4)
-        assert_eq!(nf_in(&mut ar, e2, &mut memo), want);
+        assert_eq!(nf_in(&mut ar, e2, &mut memo).id, want);
+    }
+
+    #[test]
+    fn long_unsorted_block_normalizes_to_sorted_spine() {
+        // Fold 64 ·M increments over a head in reverse id order; the normal
+        // form must be the forward (sorted) spine, found block-once.
+        let (mut t, mut ar) = setup();
+        let h = ar.atom(t.fresh_tuple());
+        let incs: Vec<NodeId> = (0..64)
+            .map(|_| {
+                let x = ar.atom(t.fresh_tuple());
+                let q = ar.atom(t.fresh_txn());
+                ar.dot_m(x, q)
+            })
+            .collect();
+        let fwd = incs.iter().fold(h, |acc, &m| ar.plus_m(acc, m));
+        let rev = incs.iter().rev().fold(h, |acc, &m| ar.plus_m(acc, m));
+        assert_ne!(fwd, rev);
+        assert_eq!(nf(&mut ar, rev), fwd, "fwd is already canonical");
+        assert_eq!(nf(&mut ar, fwd), fwd);
+    }
+
+    #[test]
+    fn insert_absorption_matches_buried_increments() {
+        // ((x − c) +I c) +I d and ((x − c) +I d) +I c must agree: the
+        // deletion is stripped whichever position the matching insert holds
+        // (whole-block matching, required for block-once reduction).
+        let (mut t, mut ar) = setup();
+        let x = ar.atom(t.fresh_tuple());
+        let c = ar.atom(t.fresh_txn());
+        let d = ar.atom(t.fresh_txn());
+        let del = ar.minus(x, c);
+        let e1 = ar.plus_i(del, c);
+        let e1 = ar.plus_i(e1, d);
+        let e2 = ar.plus_i(del, d);
+        let e2 = ar.plus_i(e2, c);
+        let xi = ar.plus_i(x, c);
+        let want = ar.plus_i(xi, d);
+        assert_eq!(nf(&mut ar, e1), nf(&mut ar, want));
+        assert_eq!(nf(&mut ar, e2), nf(&mut ar, want));
+        // Same for +M absorption under a later insert (axiom 9, buried).
+        let y = ar.atom(t.fresh_tuple());
+        let dot = ar.dot_m(y, c);
+        let md = ar.plus_m(x, dot);
+        let f = ar.plus_i(md, c);
+        let f = ar.plus_i(f, d);
+        assert_eq!(nf(&mut ar, f), nf(&mut ar, want));
+    }
+
+    #[test]
+    fn nf_roots_certifies_a_root_that_is_interior_to_another_root() {
+        // n2 is both a batch root AND an interior spine node of top's +M
+        // block: the shared pass skips n2's top-level reduction on behalf
+        // of top, so the driver must reduce n2's image itself before
+        // certifying it — otherwise the unsorted spine leaks out as a
+        // "normal form".
+        let (mut t, mut ar) = setup();
+        let h = ar.atom(t.fresh_tuple());
+        let mk = |ar: &mut ExprArena, t: &mut AtomTable| {
+            let x = ar.atom(t.fresh_tuple());
+            let q = ar.atom(t.fresh_txn());
+            ar.dot_m(x, q)
+        };
+        let m1 = mk(&mut ar, &mut t);
+        let m2 = mk(&mut ar, &mut t);
+        let m0 = mk(&mut ar, &mut t);
+        assert!(m1 < m2, "fold order below is deliberately unsorted");
+        let n1 = ar.plus_m(h, m2);
+        let n2 = ar.plus_m(n1, m1); // unsorted: m2 folded before m1
+        let top = ar.plus_m(n2, m0);
+        let mut memo = NfMemo::new();
+        let outs = nf_roots_in(&mut ar, &[top, n2], &mut memo);
+        assert!(outs.iter().all(|o| o.is_normal()));
+        assert_eq!(outs[0].id, nf(&mut ar, top), "batch top == per-root nf");
+        assert_eq!(
+            outs[1].id,
+            nf(&mut ar, n2),
+            "batch interior-root == per-root nf"
+        );
+        assert_ne!(
+            outs[1].id, n2,
+            "the unsorted spine is not its own normal form"
+        );
+    }
+
+    #[test]
+    fn nf_roots_does_not_certify_under_a_siblings_interior_marks() {
+        // N is an unsorted +M spine; root A = N +M m3 marks N interior,
+        // and root B = N − q contains no +M block top above N — B must
+        // still come out with N sorted, not be certified stable in the
+        // round where A's marks suppressed N's reduction.
+        let (mut t, mut ar) = setup();
+        let h = ar.atom(t.fresh_tuple());
+        let mk = |ar: &mut ExprArena, t: &mut AtomTable| {
+            let x = ar.atom(t.fresh_tuple());
+            let q = ar.atom(t.fresh_txn());
+            ar.dot_m(x, q)
+        };
+        let m1 = mk(&mut ar, &mut t);
+        let m2 = mk(&mut ar, &mut t);
+        let m3 = mk(&mut ar, &mut t);
+        let q = ar.atom(t.fresh_txn());
+        let n1 = ar.plus_m(h, m2);
+        let n = ar.plus_m(n1, m1); // unsorted: m2 folded before m1
+        let a = ar.plus_m(n, m3);
+        let b = ar.minus(n, q);
+        let mut memo = NfMemo::new();
+        let outs = nf_roots_in(&mut ar, &[a, b], &mut memo);
+        assert!(outs.iter().all(|o| o.is_normal()));
+        assert_eq!(outs[0].id, nf(&mut ar, a), "batch A == per-root nf");
+        assert_eq!(outs[1].id, nf(&mut ar, b), "batch B == per-root nf");
+        assert_ne!(outs[1].id, b, "B's buried unsorted spine must normalize");
+    }
+
+    #[test]
+    fn zero_budget_saturates_without_rewriting() {
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let e = ar.minus(ins, p);
+        let out = nf_budget_in(&mut ar, e, &mut memo, 0);
+        assert_eq!(
+            out,
+            NfOutcome {
+                id: e,
+                rounds: 0,
+                saturated: true
+            }
+        );
+        assert!(!out.is_normal());
+        // A sufficient budget resolves the same root.
+        assert!(nf_in(&mut ar, e, &mut memo).is_normal());
+    }
+
+    #[test]
+    fn try_equiv_reports_undecided_under_saturation() {
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let e1 = ar.minus(ins, p); // normalizes to a − p …
+        let e2 = ar.minus(a, p); // … which is e2 exactly.
+                                 // Identical ids decide true even with no budget at all.
+        assert_eq!(
+            try_equiv_budget_in(&mut ar, e1, e1, &mut memo, 0),
+            Some(true)
+        );
+        // Differing best-effort ids under saturation prove nothing.
+        assert_eq!(try_equiv_budget_in(&mut ar, e1, e2, &mut memo, 0), None);
+        // With budget, the comparison decides.
+        assert_eq!(try_equiv_in(&mut ar, e1, e2, &mut memo), Some(true));
+        let b = ar.atom(t.fresh_tuple());
+        assert_eq!(try_equiv_in(&mut ar, e1, b, &mut memo), Some(false));
     }
 }

@@ -35,8 +35,8 @@
 //! | 6 | `(a +M (b·Mc)) +I c = (a +I c) +M (b·Mc)` | subsumed: both sides reduce to `a +I c` (left by axiom 9, right by [`MOD_AFTER_INSERT`]) |
 //! | 7 | `(a +I b) − b = a − b` | [`MINUS_ABSORBS_INSERT`]: under `− b`, remove `b` from the `+I` block |
 //! | 8 | `a +M ((b +I c) ·M c) = (a +I c) +M (b·Mc)` | [`MOD_OF_INSERTED`]: combined with axioms 6+9 the right side is `a +I c`, so the whole increment collapses to an insertion |
-//! | 9 | `(a +M (b·Mc)) +I c = a +I c` | [`INSERT_ABSORBS_MOD`]: under `+I c`, drop every `+M` increment `(_ ·M c)` |
-//! | 10 | `(a − b) +I b = a +I b` | [`INSERT_ABSORBS_DELETE`]: under `+I b`, strip a head `− b` |
+//! | 9 | `(a +M (b·Mc)) +I c = a +I c` | [`INSERT_ABSORBS_MOD`]: under a `+I` block inserting `c`, drop every head `+M` increment `(_ ·M c)` |
+//! | 10 | `(a − b) +I b = a +I b` | [`INSERT_ABSORBS_DELETE`]: under a `+I` block inserting `b`, strip a head `− b` |
 //! | 11 | `a +M ((Σb + Σd) ·M c) = (a +M (Σb·Mc)) +M (Σd·Mc)` | [`MOD_SPLIT_SUM`]: distribute `·M c` over `Σ`, one `+M` increment per summand |
 //! | 12 | `(a − b) +M (c·Mb) = (a − b) +M (((d − b) +M (c·Mb)) ·M b)` | subsumed: the right side reduces to the left via [`MOD_UNNEST`] (axiom 3) then [`MOD_OF_DELETED`] (axiom 5) |
 //!
@@ -165,43 +165,49 @@ pub static MINUS_ABSORBS_MOD: RewriteRule = RewriteRule {
 };
 
 /// Axiom 10 (+ AC): `(a − b) +I b → a +I b`, with the `− b` found at the
-/// head of the `+I` block.
+/// head of the `+I` block and the matching `b` **anywhere** among its
+/// insertion increments (AC licenses floating it down to the head). Matching
+/// the whole block lets the normalizer reduce each block once at its top
+/// node instead of once per spine node.
 pub static INSERT_ABSORBS_DELETE: RewriteRule = RewriteRule {
     name: "insert-absorbs-delete",
     axioms: &[10],
     apply: |arena, id| {
-        let Node::Bin(BinOp::PlusI, a, b) = *arena.node(id) else {
+        if !matches!(arena.node(id), Node::Bin(BinOp::PlusI, ..)) {
             return None;
-        };
-        let (head, incs) = block(arena, BinOp::PlusI, a);
+        }
+        let (head, incs) = block(arena, BinOp::PlusI, id);
         let Node::Bin(BinOp::Minus, x, c) = *arena.node(head) else {
             return None;
         };
-        (c == b).then(|| {
-            let lhs = build_spine(arena, BinOp::PlusI, x, incs);
-            arena.plus_i(lhs, b)
-        })
+        incs.contains(&c)
+            .then(|| build_spine(arena, BinOp::PlusI, x, incs))
     },
 };
 
 /// Axiom 9 (+ AC): `(a +M (x ·M c)) +I c → a +I c`, with the `+M` block
-/// found at the head of the `+I` block — every increment modifying by the
-/// re-inserted query `c` is absorbed by the insertion.
+/// found at the head of the `+I` block — every `+M` increment modifying by
+/// **any** query the block (re-)inserts is absorbed by that insertion (AC
+/// floats the matching `+I c` down to sit just above the `+M` block). Like
+/// [`INSERT_ABSORBS_DELETE`], matching the whole block supports block-once
+/// reduction at the top node.
 pub static INSERT_ABSORBS_MOD: RewriteRule = RewriteRule {
     name: "insert-absorbs-mod",
     axioms: &[9],
     apply: |arena, id| {
-        let Node::Bin(BinOp::PlusI, a, c) = *arena.node(id) else {
+        if !matches!(arena.node(id), Node::Bin(BinOp::PlusI, ..)) {
             return None;
-        };
-        let (head, i_incs) = block(arena, BinOp::PlusI, a);
+        }
+        let (head, i_incs) = block(arena, BinOp::PlusI, id);
         let (base, mut m_incs) = block(arena, BinOp::PlusM, head);
         let before = m_incs.len();
-        m_incs.retain(|&m| dot_query(arena, m) != Some(c));
+        m_incs.retain(|&m| match dot_query(arena, m) {
+            Some(c) => !i_incs.contains(&c),
+            None => true,
+        });
         (m_incs.len() < before).then(|| {
             let new_head = build_spine(arena, BinOp::PlusM, base, m_incs);
-            let lhs = build_spine(arena, BinOp::PlusI, new_head, i_incs);
-            arena.plus_i(lhs, c)
+            build_spine(arena, BinOp::PlusI, new_head, i_incs)
         })
     },
 };

@@ -312,6 +312,20 @@ fn eval_arena_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
     val: &Valuation<S::Value>,
     memo: &mut M,
 ) -> S::Value {
+    eval_fill(arena, root, s, val, memo);
+    memo.take(root).expect("root computed")
+}
+
+/// Ensures `memo` holds a value for `root` (and hence its whole sub-DAG):
+/// the shared iterative worklist loop behind [`eval_arena`],
+/// [`eval_arena_in`] and [`eval_roots_in`].
+fn eval_fill<S: UpdateStructure, M: EvalMemo<S::Value>>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut M,
+) {
     let mut stack: Vec<NodeId> = vec![root];
     while let Some(&id) = stack.last() {
         if memo.contains(id) {
@@ -353,7 +367,35 @@ fn eval_arena_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
         memo.set(id, v);
         stack.pop();
     }
-    memo.take(root).expect("root computed")
+}
+
+/// Evaluates **many roots** under one valuation, sharing the memo across
+/// them: sub-DAGs common to several roots are computed once, so evaluating
+/// every tuple of a replayed transaction log costs O(union DAG), not
+/// O(Σ per-root DAGs). The complement of [`eval_many`]/[`eval_many_in`]
+/// (one root, many valuations); the engine layer's "what does the whole
+/// database look like under this valuation?" query is exactly this shape.
+///
+/// Results are returned in `roots` order; repeated roots are cheap (memo
+/// hits).
+pub fn eval_roots_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut DenseMemo<S::Value>,
+) -> Vec<S::Value> {
+    let len = roots.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+    memo.reset(len);
+    roots
+        .iter()
+        .map(|&root| {
+            if !memo.contains(root) {
+                eval_fill(arena, root, s, val, memo);
+            }
+            memo.get(root).cloned().expect("root computed")
+        })
+        .collect()
 }
 
 /// Evaluates one arena node under **many** valuations, amortizing the

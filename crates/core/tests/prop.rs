@@ -8,7 +8,7 @@
 
 use uprov_core::{
     equiv, eval, eval_arena, eval_arena_in, eval_many, nf, nf_in, Atom, AtomTable, DenseMemo, Expr,
-    ExprArena, ExprRef, NodeId, UpdateStructure, Valuation,
+    ExprArena, ExprRef, NfMemo, NodeId, UpdateStructure, Valuation,
 };
 use uprov_structures::{Bool, Worlds};
 
@@ -141,18 +141,20 @@ fn prop_eval_many_agrees_with_eval_arena() {
 #[test]
 fn prop_nf_is_idempotent() {
     // nf(nf(e)) == nf(e) for random shared DAGs.
-    let mut memo = DenseMemo::new();
+    let mut memo = NfMemo::new();
     for seed in 0..CASES {
         let mut rng = Rng::new(seed * 48_271 + 7);
         let mut table = AtomTable::new();
         let (e, _) = random_expr(&mut rng, &mut table, 40);
         let mut ar = ExprArena::new();
         let id = ar.import(&e);
-        let n = nf_in(&mut ar, id, &mut memo);
+        let out = nf_in(&mut ar, id, &mut memo);
+        assert!(out.is_normal(), "seed {seed}: nf saturated");
+        let again = nf_in(&mut ar, out.id, &mut memo);
+        assert_eq!(again.id, out.id, "seed {seed}: nf is not idempotent");
         assert_eq!(
-            nf_in(&mut ar, n, &mut memo),
-            n,
-            "seed {seed}: nf is not idempotent"
+            again.rounds, 1,
+            "seed {seed}: a normal form reconfirms in one round"
         );
     }
 }
@@ -289,5 +291,159 @@ fn prop_arena_stats_agree_with_legacy_stats() {
         assert_eq!(ar.atoms(id), e.atoms(), "seed {seed}: atoms order");
         // Hash-consing can only merge nodes, never add them.
         assert!(stats.dag_size <= e.dag_size(), "seed {seed}: dag_size grew");
+    }
+}
+
+#[test]
+fn prop_nf_result_is_a_full_reduce_fixpoint() {
+    // Block-once canonicalization skips interior spine nodes during the
+    // rounds; the certificate that nothing was missed is that a plain
+    // reduce-everywhere pass maps the final normal form to itself.
+    let mut memo = NfMemo::new();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 2_654_435_761 + 3);
+        let mut table = AtomTable::new();
+        let (e, _) = random_expr(&mut rng, &mut table, 60);
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        let out = nf_in(&mut ar, id, &mut memo);
+        assert!(out.is_normal(), "seed {seed}: nf saturated");
+        let confirm = ar.rewrite_pass(out.id, &mut |arena, node| uprov_core::reduce(arena, node));
+        assert_eq!(
+            confirm, out.id,
+            "seed {seed}: reduce-everywhere still fires on the normal form"
+        );
+    }
+}
+
+#[test]
+fn prop_eval_roots_in_agrees_with_per_root_eval() {
+    // Batch evaluation over many roots (the engine's whole-database query)
+    // agrees with evaluating each root separately, including repeated and
+    // ZERO roots.
+    let mut memo = DenseMemo::new();
+    for seed in 0..CASES / 3 {
+        let mut rng = Rng::new(seed * 7_919 + 23);
+        let mut table = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let mut roots = vec![ExprArena::ZERO];
+        let mut atoms = Vec::new();
+        for _ in 0..4 {
+            let (e, a) = random_expr(&mut rng, &mut table, 20);
+            roots.push(ar.import(&e));
+            atoms.extend(a);
+        }
+        roots.push(roots[1]); // repeated root: served from the shared memo
+        let val = random_valuation(&mut rng, &atoms);
+        let batch = uprov_core::eval_roots_in(&ar, &roots, &Bool, &val, &mut memo);
+        for (i, (&r, got)) in roots.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                *got,
+                eval_arena(&ar, r, &Bool, &val),
+                "seed {seed}: root {i} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_memo_reuse_across_interleaved_arenas_never_serves_stale_hits() {
+    // Regression: one pooled memo alternating between two arenas of very
+    // different sizes (and atoms with colliding indices but different
+    // meanings) must behave exactly like fresh per-call buffers — the
+    // generation stamp, not leftover slot contents, decides visibility.
+    let mut big_t = AtomTable::new();
+    let mut big = ExprArena::new();
+    let mut chain = big.atom(big_t.fresh_tuple());
+    let mut big_roots = Vec::new();
+    for _ in 0..500 {
+        let p = big.atom(big_t.fresh_txn());
+        chain = big.minus(chain, p);
+        big_roots.push(chain);
+    }
+    let mut small_t = AtomTable::new();
+    let mut small = ExprArena::new();
+    let sx = small_t.fresh_tuple();
+    let sp = small_t.fresh_txn();
+    let sxa = small.atom(sx);
+    let spa = small.atom(sp);
+    let sdot = small.dot_m(sxa, spa);
+    let sroot = small.plus_i(sdot, spa);
+
+    let all_true: Valuation<bool> = Valuation::constant(true);
+    let small_val = Valuation::constant(true).with(sp, false);
+    let mut memo: DenseMemo<bool> = DenseMemo::new();
+    for round in 0..50 {
+        // Big arena first: floods the high-water slots with `true`s.
+        let r = big_roots[(round * 7) % big_roots.len()];
+        assert_eq!(
+            eval_arena_in(&big, r, &Bool, &all_true, &mut memo),
+            eval_arena(&big, r, &Bool, &all_true),
+            "round {round}: big arena diverged"
+        );
+        // Small arena next: its ids alias the big arena's low slots; a
+        // stale hit would leak the big chain's values into this answer.
+        assert_eq!(
+            eval_arena_in(&small, sroot, &Bool, &small_val, &mut memo),
+            eval_arena(&small, sroot, &Bool, &small_val),
+            "round {round}: small arena served a stale hit"
+        );
+        assert!(!eval_arena_in(&small, sroot, &Bool, &small_val, &mut memo));
+    }
+}
+
+#[test]
+fn dense_memo_survives_arena_growth_between_queries() {
+    // Regression: growing the arena between pooled queries must extend the
+    // memo with *invisible* slots — new ids start unmemoized even though
+    // the buffer is reused, and old ids never resurface old generations.
+    let mut t = AtomTable::new();
+    let mut ar = ExprArena::new();
+    let a = ar.atom(t.fresh_tuple());
+    let p = t.fresh_txn();
+    let pa = ar.atom(p);
+    let e1 = ar.dot_m(a, pa);
+    let mut memo: DenseMemo<bool> = DenseMemo::new();
+    let all_true: Valuation<bool> = Valuation::constant(true);
+    assert!(eval_arena_in(&ar, e1, &Bool, &all_true, &mut memo));
+    for step in 0..10 {
+        // Grow: a fresh sub-DAG whose ids extend past the old high-water
+        // mark, plus a root that also reaches the old nodes.
+        let x = ar.atom(t.fresh_tuple());
+        let q_atom = t.fresh_txn();
+        let q = ar.atom(q_atom);
+        let dot = ar.dot_m(x, q);
+        let root = ar.plus_m(e1, dot);
+        let val = Valuation::constant(true).with(if step % 2 == 0 { p } else { q_atom }, false);
+        assert_eq!(
+            eval_arena_in(&ar, root, &Bool, &val, &mut memo),
+            eval_arena(&ar, root, &Bool, &val),
+            "step {step}: growth leaked stale values"
+        );
+    }
+}
+
+#[test]
+fn prop_nf_roots_in_agrees_with_per_root_nf() {
+    // Batch normalization over many (overlapping, repeated) roots must
+    // land on exactly the per-root normal forms.
+    let mut memo = NfMemo::new();
+    for seed in 0..CASES / 3 {
+        let mut rng = Rng::new(seed * 15_485_863 + 29);
+        let mut table = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let mut roots = vec![ExprArena::ZERO];
+        for _ in 0..4 {
+            let (e, _) = random_expr(&mut rng, &mut table, 30);
+            roots.push(ar.import(&e));
+        }
+        roots.push(roots[1]); // repeated root
+        let outcomes = uprov_core::nf_roots_in(&mut ar, &roots, &mut memo);
+        assert_eq!(outcomes.len(), roots.len());
+        for (i, (&r, out)) in roots.iter().zip(&outcomes).enumerate() {
+            assert!(out.is_normal(), "seed {seed}: root {i} saturated");
+            assert_eq!(out.id, nf(&mut ar, r), "seed {seed}: root {i} diverged");
+        }
+        assert_eq!(outcomes[1].id, outcomes[5].id, "repeated roots agree");
     }
 }

@@ -1,0 +1,480 @@
+//! Transaction-log replay engine for `UP[X]` update provenance.
+//!
+//! This crate is the ROADMAP "engine layer" end-to-end: parse a textual
+//! update log ([`UpdateLog`], module [`log`]), replay it into per-tuple
+//! provenance expressions built **incrementally** in a long-lived
+//! hash-consed [`ExprArena`] ([`Engine::replay`]), then answer the queries
+//! the paper's framework exists for:
+//!
+//! * **Transaction abortion** (Example 3.2 / Section 4.1): "what does the
+//!   database look like if transaction `T` aborts?" — symbolically, by
+//!   substituting `T ↦ 0` and re-normalizing ([`Engine::abort_symbolic`]);
+//!   or concretely under any Update-Structure, by evaluating every tuple
+//!   under the valuation `T ↦ 0` ([`Engine::abort_eval`]).
+//! * **Deletion propagation** (Section 4.1): which tuples disappear when a
+//!   base tuple is deleted ([`Engine::delete_base_eval`]).
+//! * **Log equivalence** (Section 3 / Figure 3): are two logs equivalent —
+//!   per tuple, by normal-form id comparison in the shared arena
+//!   ([`Engine::equivalent`], three-valued via
+//!   [`uprov_core::try_equiv_in`] so normalizer saturation surfaces as
+//!   *undecided* rather than a false "inequivalent").
+//!
+//! Replay is pure interning — O(1) amortized per update, no rewriting —
+//! so logs with hundreds of thousands of updates build in milliseconds;
+//! normalization and substitution reuse one pooled [`DenseMemo`],
+//! evaluation answers whole-database queries in one O(union DAG)
+//! [`uprov_core::eval_roots_in`] sweep (pool the value memo across
+//! repeated queries with [`Engine::eval_tuples_in`]), and the block-once
+//! normalizer keeps the long `+I`/`+M` spines such logs produce
+//! near-linear to canonicalize.
+//!
+//! ```
+//! use uprov_engine::{Engine, UpdateLog};
+//! use uprov_structures::Bool;
+//!
+//! let log: UpdateLog = "\
+//!     base x
+//!     begin t1
+//!     insert y
+//!     modify z <- x y
+//!     commit
+//!     begin t2
+//!     delete y
+//!     commit
+//! ".parse().unwrap();
+//!
+//! let mut engine = Engine::new();
+//! let replayed = engine.replay(&log).unwrap();
+//!
+//! // If t1 aborts, its insert and its modification never happened:
+//! // y and z vanish, and x (consumed by the modify) is restored.
+//! let after = engine.abort_eval(&replayed, "t1", &Bool, true).unwrap();
+//! let alive: Vec<&str> = after
+//!     .iter()
+//!     .filter(|(_, v)| *v)
+//!     .map(|(name, _)| *name)
+//!     .collect();
+//! assert_eq!(alive, ["x"]);
+//! ```
+
+pub mod log;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use uprov_core::{
+    eval_roots_in, nf_roots_in, Atom, AtomKind, AtomTable, DenseMemo, ExprArena, NfMemo, NodeId,
+    UpdateStructure, Valuation,
+};
+
+pub use crate::log::{Op, ParseError, Txn, UpdateLog};
+
+/// A replay failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// One name is used both as a tuple and as a transaction — atoms are
+    /// kind-tagged, so the log is ambiguous.
+    NameKindClash {
+        /// The clashing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::NameKindClash { name } => {
+                write!(f, "`{name}` is used both as a tuple and as a transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A query failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The named transaction does not occur in the replayed log.
+    UnknownTxn {
+        /// The unmatched name.
+        name: String,
+    },
+    /// The named tuple does not occur in the replayed log.
+    UnknownTuple {
+        /// The unmatched name.
+        name: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTxn { name } => write!(f, "unknown transaction `{name}`"),
+            QueryError::UnknownTuple { name } => write!(f, "unknown tuple `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The provenance state of one replayed log: every touched tuple's current
+/// symbolic provenance, plus the atoms behind base tuples and transactions.
+///
+/// Produced by [`Engine::replay`]; all ids live in that engine's arena, so
+/// several `Replayed` states (e.g. the two sides of an equivalence query)
+/// share sub-DAGs maximally.
+#[derive(Debug, Clone)]
+pub struct Replayed {
+    tuples: BTreeMap<String, NodeId>,
+    base_atoms: BTreeMap<String, Atom>,
+    txn_atoms: BTreeMap<String, Atom>,
+    updates: usize,
+}
+
+impl Replayed {
+    /// The current provenance of `tuple` ([`ExprArena::ZERO`] for tuples
+    /// the log never touched and never declared).
+    pub fn provenance(&self, tuple: &str) -> NodeId {
+        self.tuples.get(tuple).copied().unwrap_or(ExprArena::ZERO)
+    }
+
+    /// Tuple names with recorded provenance, in sorted order.
+    pub fn tuple_names(&self) -> impl Iterator<Item = &str> {
+        self.tuples.keys().map(String::as_str)
+    }
+
+    /// `(name, provenance)` pairs in sorted name order.
+    pub fn tuples(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.tuples.iter().map(|(n, &id)| (n.as_str(), id))
+    }
+
+    /// The annotation atom of a replayed transaction.
+    pub fn txn_atom(&self, name: &str) -> Option<Atom> {
+        self.txn_atoms.get(name).copied()
+    }
+
+    /// The annotation atom of a declared base tuple.
+    pub fn base_atom(&self, name: &str) -> Option<Atom> {
+        self.base_atoms.get(name).copied()
+    }
+
+    /// Number of updates replayed into this state.
+    pub fn update_count(&self) -> usize {
+        self.updates
+    }
+}
+
+/// Per-tuple answer of a symbolic abort query: the tuple's provenance with
+/// the aborted transaction zeroed out and re-normalized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicTuple {
+    /// The tuple's name.
+    pub name: String,
+    /// Normalized provenance after the substitution. [`ExprArena::ZERO`]
+    /// means the tuple is *certainly* absent in every structure.
+    pub provenance: NodeId,
+    /// True if normalization saturated its round budget (the id is then
+    /// best-effort; see [`uprov_core::NfOutcome`]).
+    pub saturated: bool,
+}
+
+/// The verdict of a log-equivalence query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Equivalence {
+    /// Tuples whose provenance normal forms differ — witnesses of
+    /// inequivalence.
+    pub differing: Vec<String>,
+    /// Tuples where normalization saturated with differing best-effort ids,
+    /// so neither equivalence nor inequivalence was proven (never populated
+    /// for the terminating Figure 3 system; surfaced rather than silently
+    /// mis-reported).
+    pub undecided: Vec<String>,
+}
+
+impl Equivalence {
+    /// True iff every tuple's provenance was proven equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        self.differing.is_empty() && self.undecided.is_empty()
+    }
+}
+
+/// The replay engine: a long-lived [`AtomTable`] + [`ExprArena`] plus
+/// pooled memo buffers, shared across every log replayed through it.
+///
+/// Replaying several logs through one engine puts their provenance in one
+/// arena — the precondition for O(1) cross-log equivalence comparison and
+/// maximal structure sharing.
+#[derive(Debug, Default)]
+pub struct Engine {
+    atoms: AtomTable,
+    arena: ExprArena,
+    nf_memo: NfMemo,
+    subst_memo: DenseMemo<NodeId>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The atom table (e.g. for pretty-printing exported provenance).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// The expression arena holding every replayed log's provenance.
+    pub fn arena(&self) -> &ExprArena {
+        &self.arena
+    }
+
+    /// Renders a provenance id in the paper's notation (via the legacy
+    /// expression bridge).
+    pub fn render(&self, id: NodeId) -> String {
+        self.arena.export(id).display(&self.atoms).to_string()
+    }
+
+    fn tuple_atom(&mut self, name: &str) -> Result<Atom, ReplayError> {
+        self.kinded_atom(name, AtomKind::Tuple)
+    }
+
+    fn kinded_atom(&mut self, name: &str, kind: AtomKind) -> Result<Atom, ReplayError> {
+        match self.atoms.lookup(name) {
+            Some(a) if self.atoms.kind(a) != kind => Err(ReplayError::NameKindClash {
+                name: name.to_owned(),
+            }),
+            Some(a) => Ok(a),
+            None => Ok(self.atoms.named(name, kind)),
+        }
+    }
+
+    /// Replays a log into per-tuple provenance, interning incrementally
+    /// into the engine's arena.
+    ///
+    /// Semantics per update by transaction `T` (annotation atom `p`):
+    ///
+    /// * `insert x` — `prov(x) ← prov(x) +I p`,
+    /// * `delete x` — `prov(x) ← prov(x) − p`,
+    /// * `modify t <- s…` — snapshot the sources, then
+    ///   `prov(t) ← prov(t) +M ((Σ prov(sᵢ)) ·M p)` and every source
+    ///   `s ≠ t` is consumed: `prov(s) ← prov(s) − p`.
+    ///
+    /// Base tuples start as their own atom; all other tuples start at `0`,
+    /// so the zero axioms prune no-op updates (deleting an absent tuple,
+    /// modifying from absent sources) at intern time.
+    pub fn replay(&mut self, log: &UpdateLog) -> Result<Replayed, ReplayError> {
+        let mut state = Replayed {
+            tuples: BTreeMap::new(),
+            base_atoms: BTreeMap::new(),
+            txn_atoms: BTreeMap::new(),
+            updates: 0,
+        };
+        for b in &log.base {
+            let atom = self.tuple_atom(b)?;
+            state.base_atoms.insert(b.clone(), atom);
+            let id = self.arena.atom(atom);
+            state.tuples.insert(b.clone(), id);
+        }
+        for txn in &log.txns {
+            let p = self.kinded_atom(&txn.name, AtomKind::Txn)?;
+            state.txn_atoms.insert(txn.name.clone(), p);
+            let pa = self.arena.atom(p);
+            for op in &txn.ops {
+                state.updates += 1;
+                match op {
+                    Op::Insert { tuple } => {
+                        let cur = state.provenance(tuple);
+                        let next = self.arena.plus_i(cur, pa);
+                        state.tuples.insert(tuple.clone(), next);
+                    }
+                    Op::Delete { tuple } => {
+                        let cur = state.provenance(tuple);
+                        let next = self.arena.minus(cur, pa);
+                        state.tuples.insert(tuple.clone(), next);
+                    }
+                    Op::Modify { target, sources } => {
+                        // Snapshot source provenance before any mutation of
+                        // this op takes effect.
+                        let srcs: Vec<NodeId> =
+                            sources.iter().map(|s| state.provenance(s)).collect();
+                        let sigma = self.arena.sum(srcs);
+                        let dot = self.arena.dot_m(sigma, pa);
+                        let old_target = state.provenance(target);
+                        for s in sources {
+                            if s == target {
+                                continue;
+                            }
+                            // Consume the source. Unseen sources are absent
+                            // (0), so the zero axiom records them as ZERO —
+                            // present in the state for queries to report.
+                            let cur = state.provenance(s);
+                            let next = self.arena.minus(cur, pa);
+                            state.tuples.insert(s.clone(), next);
+                        }
+                        let next = self.arena.plus_m(old_target, dot);
+                        state.tuples.insert(target.clone(), next);
+                    }
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// The symbolic abort query: substitutes `txn ↦ 0` into every tuple's
+    /// provenance and re-normalizes — "the database if `txn` aborts", as
+    /// expressions over the surviving annotations (Section 4.1's
+    /// specialization, kept symbolic).
+    ///
+    /// A [`SymbolicTuple::provenance`] of [`ExprArena::ZERO`] proves the
+    /// tuple absent under *every* Update-Structure; evaluate under a
+    /// concrete structure ([`Engine::abort_eval`]) for the per-structure
+    /// answer.
+    pub fn abort_symbolic(
+        &mut self,
+        state: &Replayed,
+        txn: &str,
+    ) -> Result<Vec<SymbolicTuple>, QueryError> {
+        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+            name: txn.to_owned(),
+        })?;
+        let map = HashMap::from([(p, ExprArena::ZERO)]);
+        // One shared-generation substitution across every tuple (sub-DAGs
+        // common to several tuples rebuild once), then normalize each image.
+        let (names, roots): (Vec<&String>, Vec<NodeId>) =
+            state.tuples.iter().map(|(n, &id)| (n, id)).unzip();
+        let substituted = self
+            .arena
+            .substitute_roots_in(&roots, &map, &mut self.subst_memo);
+        let outcomes = nf_roots_in(&mut self.arena, &substituted, &mut self.nf_memo);
+        Ok(names
+            .into_iter()
+            .zip(outcomes)
+            .map(|(name, nf)| SymbolicTuple {
+                name: name.clone(),
+                provenance: nf.id,
+                saturated: nf.saturated,
+            })
+            .collect())
+    }
+
+    /// Evaluates every tuple under `structure` and an explicit valuation —
+    /// the raw "what does the database look like?" query. One
+    /// [`eval_roots_in`] sweep: shared sub-DAGs are computed once across
+    /// all tuples. Allocates a memo per call; the engine cannot pool a
+    /// `DenseMemo<S::Value>` across structure types, so repeated queries
+    /// under one structure should hold their own buffer and call
+    /// [`Engine::eval_tuples_in`].
+    pub fn eval_tuples<'s, S: UpdateStructure>(
+        &mut self,
+        state: &'s Replayed,
+        structure: &S,
+        valuation: &Valuation<S::Value>,
+    ) -> Vec<(&'s str, S::Value)> {
+        let mut memo = DenseMemo::new();
+        self.eval_tuples_in(state, structure, valuation, &mut memo)
+    }
+
+    /// [`Engine::eval_tuples`] with a caller-provided [`DenseMemo`]: the
+    /// generation-stamped reset makes repeated whole-database queries under
+    /// one structure allocation-free.
+    pub fn eval_tuples_in<'s, S: UpdateStructure>(
+        &mut self,
+        state: &'s Replayed,
+        structure: &S,
+        valuation: &Valuation<S::Value>,
+        memo: &mut DenseMemo<S::Value>,
+    ) -> Vec<(&'s str, S::Value)> {
+        let (names, roots): (Vec<&str>, Vec<NodeId>) =
+            state.tuples.iter().map(|(n, &id)| (n.as_str(), id)).unzip();
+        let values = eval_roots_in(&self.arena, &roots, structure, valuation, memo);
+        names.into_iter().zip(values).collect()
+    }
+
+    /// The concrete abort query: every tuple's value under `structure`
+    /// when `txn` aborts (its atom maps to `0`) and everything else takes
+    /// `present`.
+    pub fn abort_eval<'s, S: UpdateStructure>(
+        &mut self,
+        state: &'s Replayed,
+        txn: &str,
+        structure: &S,
+        present: S::Value,
+    ) -> Result<Vec<(&'s str, S::Value)>, QueryError> {
+        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+            name: txn.to_owned(),
+        })?;
+        let val = Valuation::constant(present).with(p, structure.zero());
+        Ok(self.eval_tuples(state, structure, &val))
+    }
+
+    /// The deletion-propagation query: every tuple's value under
+    /// `structure` when the base tuple `tuple` is deleted from the initial
+    /// database (its atom maps to `0`) and everything else takes `present`.
+    pub fn delete_base_eval<'s, S: UpdateStructure>(
+        &mut self,
+        state: &'s Replayed,
+        tuple: &str,
+        structure: &S,
+        present: S::Value,
+    ) -> Result<Vec<(&'s str, S::Value)>, QueryError> {
+        let a = state
+            .base_atom(tuple)
+            .ok_or_else(|| QueryError::UnknownTuple {
+                name: tuple.to_owned(),
+            })?;
+        let val = Valuation::constant(present).with(a, structure.zero());
+        Ok(self.eval_tuples(state, structure, &val))
+    }
+
+    /// Decides whether two replayed logs are equivalent: for every tuple
+    /// either log touches, the two provenance expressions must share a
+    /// normal form ("Figure 3 + AC spines + `Σ`-as-set"; see
+    /// [`uprov_core::nf`](mod@uprov_core::nf)). Both states must come from
+    /// this engine, so the comparison happens inside one arena.
+    ///
+    /// Normalizer saturation is surfaced per tuple in
+    /// [`Equivalence::undecided`] instead of being folded into a false
+    /// "inequivalent".
+    pub fn equivalent(&mut self, a: &Replayed, b: &Replayed) -> Equivalence {
+        let mut verdict = Equivalence {
+            differing: Vec::new(),
+            undecided: Vec::new(),
+        };
+        // One batched normalization over both states' tuples: sub-DAGs
+        // shared across tuples (and across the two logs) normalize once
+        // per round instead of once per tuple.
+        let names: Vec<&String> = a
+            .tuples
+            .keys()
+            .chain(b.tuples.keys().filter(|k| !a.tuples.contains_key(*k)))
+            .collect();
+        // Identical ids are already proven equivalent (hash-consing), so
+        // only genuinely differing pairs enter the batch — two replays of
+        // one log compare in O(#tuples) without normalizing anything.
+        let names: Vec<&String> = names
+            .into_iter()
+            .filter(|n| a.provenance(n) != b.provenance(n))
+            .collect();
+        let mut roots = Vec::with_capacity(names.len() * 2);
+        for name in &names {
+            roots.push(a.provenance(name));
+            roots.push(b.provenance(name));
+        }
+        let outcomes = nf_roots_in(&mut self.arena, &roots, &mut self.nf_memo);
+        for (name, pair) in names.iter().zip(outcomes.chunks_exact(2)) {
+            let (na, nb) = (&pair[0], &pair[1]);
+            if na.id == nb.id {
+                // Equal ids prove equivalence even under saturation: every
+                // intermediate image is rewrite-reachable from its input.
+            } else if na.saturated || nb.saturated {
+                verdict.undecided.push((*name).clone());
+            } else {
+                verdict.differing.push((*name).clone());
+            }
+        }
+        verdict.differing.sort_unstable();
+        verdict.undecided.sort_unstable();
+        verdict
+    }
+}

@@ -1,0 +1,296 @@
+//! The textual update-log format: parsing and printing.
+//!
+//! A log is a sequence of **transactions**, each a named group of tuple
+//! updates — the concrete counterpart of the paper's transaction sequences
+//! (Section 3.1: every update query of a transaction shares the
+//! transaction's annotation). The grammar is line-oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! base r1 r2          # tuples of the initial database (X-database tuples)
+//! begin t1
+//! insert r3           # t1 inserts tuple r3
+//! modify r2 <- r1 r3  # t1 rewrites r1 and r3 into r2
+//! delete r1           # t1 deletes tuple r1
+//! commit
+//! ```
+//!
+//! `base` lines declare initially-present tuples (each gets a tuple atom
+//! from `X`); all other tuples start absent (`0`). `begin NAME … commit`
+//! brackets one transaction; re-using a name continues the *same*
+//! transaction (same annotation). `modify T <- S…` rewrites the source
+//! tuples `S…` into the target `T` — the sources are consumed (deleted by
+//! the same transaction) and the target accumulates `(Σ sources) ·M txn`,
+//! exactly the ping-pong shape of Proposition 5.1.
+//!
+//! [`UpdateLog`] round-trips: `parse(print(log)) == log` (comments
+//! aside), asserted by the engine test-suite. Names are whitespace-split
+//! tokens, so the guarantee holds exactly for **token-safe** names —
+//! non-empty, no whitespace, no `#` — which is every name the parser can
+//! itself produce; programmatically built logs with unsafe names print
+//! text that reparses differently (or not at all).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One tuple update inside a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `insert T` — the transaction inserts tuple `T`.
+    Insert {
+        /// The inserted tuple's name.
+        tuple: String,
+    },
+    /// `delete T` — the transaction deletes tuple `T`.
+    Delete {
+        /// The deleted tuple's name.
+        tuple: String,
+    },
+    /// `modify T <- S…` — the transaction rewrites the source tuples into
+    /// `T`, consuming them.
+    Modify {
+        /// The tuple receiving the rewritten sources.
+        target: String,
+        /// The consumed source tuples (non-empty).
+        sources: Vec<String>,
+    },
+}
+
+/// A named transaction: a group of updates sharing one annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// The transaction's name (its atom in `X`).
+    pub name: String,
+    /// The updates, in log order.
+    pub ops: Vec<Op>,
+}
+
+/// A parsed update log: base-tuple declarations plus a transaction
+/// sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateLog {
+    /// Tuples of the initial database, in declaration order.
+    pub base: Vec<String>,
+    /// The transactions, in log order.
+    pub txns: Vec<Txn>,
+}
+
+impl UpdateLog {
+    /// Total number of updates across all transactions.
+    pub fn update_count(&self) -> usize {
+        self.txns.iter().map(|t| t.ops.len()).sum()
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line. An unterminated
+    /// transaction reports its `begin` line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl FromStr for UpdateLog {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut log = UpdateLog::default();
+        let mut open: Option<Txn> = None;
+        let mut open_line = 0;
+        for (ix, raw) in s.lines().enumerate() {
+            let line_no = ix + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let head = words.next().expect("non-empty line");
+            match head {
+                "base" => {
+                    if open.is_some() || !log.txns.is_empty() {
+                        return Err(err(line_no, "`base` must precede all transactions"));
+                    }
+                    let mut any = false;
+                    for w in words {
+                        any = true;
+                        log.base.push(w.to_owned());
+                    }
+                    if !any {
+                        return Err(err(line_no, "`base` needs at least one tuple"));
+                    }
+                }
+                "begin" => {
+                    if open.is_some() {
+                        return Err(err(line_no, "`begin` inside an open transaction"));
+                    }
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "`begin` needs a transaction name"))?;
+                    if words.next().is_some() {
+                        return Err(err(line_no, "`begin` takes exactly one name"));
+                    }
+                    open = Some(Txn {
+                        name: name.to_owned(),
+                        ops: Vec::new(),
+                    });
+                    open_line = line_no;
+                }
+                "commit" => {
+                    let txn = open
+                        .take()
+                        .ok_or_else(|| err(line_no, "`commit` without `begin`"))?;
+                    if words.next().is_some() {
+                        return Err(err(line_no, "`commit` takes no operands"));
+                    }
+                    log.txns.push(txn);
+                }
+                "insert" | "delete" => {
+                    let txn = open
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, format!("`{head}` outside a transaction")))?;
+                    let tuple = words
+                        .next()
+                        .ok_or_else(|| err(line_no, format!("`{head}` needs a tuple name")))?
+                        .to_owned();
+                    if words.next().is_some() {
+                        return Err(err(line_no, format!("`{head}` takes exactly one tuple")));
+                    }
+                    txn.ops.push(if head == "insert" {
+                        Op::Insert { tuple }
+                    } else {
+                        Op::Delete { tuple }
+                    });
+                }
+                "modify" => {
+                    let txn = open
+                        .as_mut()
+                        .ok_or_else(|| err(line_no, "`modify` outside a transaction"))?;
+                    let target = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "`modify` needs a target tuple"))?
+                        .to_owned();
+                    match words.next() {
+                        Some("<-") => {}
+                        _ => return Err(err(line_no, "`modify` needs `<-` after the target")),
+                    }
+                    let sources: Vec<String> = words.map(str::to_owned).collect();
+                    if sources.is_empty() {
+                        return Err(err(line_no, "`modify` needs at least one source tuple"));
+                    }
+                    txn.ops.push(Op::Modify { target, sources });
+                }
+                other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+            }
+        }
+        if open.is_some() {
+            return Err(err(open_line, "transaction never committed"));
+        }
+        Ok(log)
+    }
+}
+
+impl fmt::Display for UpdateLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.base.is_empty() {
+            write!(f, "base")?;
+            for b in &self.base {
+                write!(f, " {b}")?;
+            }
+            writeln!(f)?;
+        }
+        for txn in &self.txns {
+            writeln!(f, "begin {}", txn.name)?;
+            for op in &txn.ops {
+                match op {
+                    Op::Insert { tuple } => writeln!(f, "insert {tuple}")?,
+                    Op::Delete { tuple } => writeln!(f, "delete {tuple}")?,
+                    Op::Modify { target, sources } => {
+                        write!(f, "modify {target} <-")?;
+                        for s in sources {
+                            write!(f, " {s}")?;
+                        }
+                        writeln!(f)?;
+                    }
+                }
+            }
+            writeln!(f, "commit")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_module_doc_example() {
+        let log: UpdateLog = "# comments and blank lines are ignored\n\
+             base r1 r2\n\
+             begin t1\n\
+             insert r3\n\
+             modify r2 <- r1 r3  # rewrite\n\
+             delete r1\n\
+             commit\n"
+            .parse()
+            .expect("valid log");
+        assert_eq!(log.base, vec!["r1", "r2"]);
+        assert_eq!(log.txns.len(), 1);
+        assert_eq!(log.txns[0].name, "t1");
+        assert_eq!(log.update_count(), 3);
+        assert_eq!(
+            log.txns[0].ops[1],
+            Op::Modify {
+                target: "r2".into(),
+                sources: vec!["r1".into(), "r3".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn print_parse_round_trips() {
+        let log: UpdateLog = "base a\nbegin t\ninsert b\nmodify a <- b\ncommit\n"
+            .parse()
+            .expect("valid");
+        let printed = log.to_string();
+        assert_eq!(printed.parse::<UpdateLog>().expect("reparse"), log);
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        for (src, line, needle) in [
+            ("begin t\ninsert", 2, "needs a tuple"),
+            ("insert x", 1, "outside a transaction"),
+            ("begin t\nbegin u\n", 2, "inside an open transaction"),
+            ("commit", 1, "without `begin`"),
+            ("begin t\ninsert x\n", 1, "never committed"),
+            ("begin t\nmodify x y\ncommit", 2, "`<-`"),
+            ("begin t\nmodify x <-\ncommit", 2, "at least one source"),
+            ("begin t\nfrobnicate x\ncommit", 2, "unknown directive"),
+            ("begin t\ncommit\nbase x", 3, "precede all transactions"),
+            ("begin t\ninsert x\ncommit t", 3, "takes no operands"),
+            ("base", 1, "at least one tuple"),
+        ] {
+            let got = src.parse::<UpdateLog>().expect_err(src);
+            assert_eq!(got.line, line, "{src:?}: {got}");
+            assert!(got.message.contains(needle), "{src:?}: {got}");
+        }
+    }
+}
