@@ -197,6 +197,25 @@ impl Harness {
         ratio
     }
 
+    /// Records the comparison `name` = `median(slow) / median(fast)` and
+    /// flags a **violation** if the speedup falls *below* `min_speedup` —
+    /// the floor-shaped dual of [`Harness::guard_ratio`], for claims like
+    /// "the incremental path is at least 10× faster than from-scratch".
+    /// Violations make [`Harness::finish`] exit non-zero after the JSON
+    /// report is written. Returns the measured speedup.
+    ///
+    /// As with `guard_ratio`, pick `min_speedup` with CI noise in mind:
+    /// guard the order-of-magnitude claim, not a few percent.
+    pub fn guard_speedup(&mut self, name: &str, slow: &str, fast: &str, min_speedup: f64) -> f64 {
+        let speedup = self.compare(name, slow, fast);
+        if speedup < min_speedup {
+            let msg = format!("{name}: speedup {speedup:.2}x is below the {min_speedup:.2}x floor");
+            eprintln!("  GUARD VIOLATION: {msg}");
+            self.violations.push(msg);
+        }
+        speedup
+    }
+
     /// Guard violations recorded so far (see [`Harness::guard_ratio`]).
     pub fn violations(&self) -> &[String] {
         &self.violations
@@ -349,6 +368,28 @@ mod tests {
         h.guard_ratio("scaling/bad", "n400", "n100", 2.0);
         assert_eq!(h.violations().len(), 1);
         assert!(h.violations()[0].contains("scaling/bad"));
+    }
+
+    #[test]
+    fn guard_speedup_records_violations_only_below_floor() {
+        let mut h = Harness::new("selftest");
+        for (name, ns) in [("scratch", 1_200.0), ("incremental", 100.0)] {
+            h.results.push(BenchResult {
+                name: name.into(),
+                iters_per_sample: 1,
+                samples: 1,
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+            });
+        }
+        // 12x speedup: fine above a 10x floor, a violation above a 20x one.
+        let s = h.guard_speedup("speedup/ok", "scratch", "incremental", 10.0);
+        assert!((s - 12.0).abs() < 1e-9);
+        assert!(h.violations().is_empty());
+        h.guard_speedup("speedup/bad", "scratch", "incremental", 20.0);
+        assert_eq!(h.violations().len(), 1);
+        assert!(h.violations()[0].contains("below the 20.00x floor"));
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub use axioms::{
 };
 pub use expr::{Expr, ExprRef};
 pub use nf::{
-    equiv, equiv_in, nf, nf_budget_in, nf_in, nf_roots_budget_in, nf_roots_in, try_equiv_budget_in,
-    try_equiv_in, NfMemo, NfOutcome, MAX_ROUNDS,
+    equiv, equiv_in, nf, nf_budget_in, nf_in, nf_roots_budget_in, nf_roots_in,
+    nf_roots_incremental_budget_in, nf_roots_incremental_in, try_equiv_budget_in, try_equiv_in,
+    NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
 };
 pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{

@@ -32,8 +32,8 @@
 //! rebuilds, or remains a prefix of a saturated block — and a prefix of a
 //! canonical block is canonical. Long log-replay spines (10k sequential
 //! inserts to one tuple) therefore normalize in near-linear time; the
-//! `nf/acspine` scaling benches in `BENCH_pr3.json` are the regression
-//! guard.
+//! `nf/acspine` scaling benches (first recorded in `BENCH_pr3.json`,
+//! re-run into `BENCH_pr4.json` by CI) are the regression guard.
 //!
 //! Because every rewrite re-interns through the hash-consing smart
 //! constructors, normal forms inherit the arena's guarantees: two
@@ -44,6 +44,20 @@
 //! evaluation under any axiom-satisfying Update-Structure is invariant
 //! under these rewrites: `eval(e) == eval(nf(e))` is property-tested for
 //! every catalogue structure.
+//!
+//! # Incremental re-normalization
+//!
+//! Normal forms are pure functions of the [`NodeId`] (the arena is
+//! append-only), so certified results can be cached forever in an
+//! [`NfCache`] and reused across queries. [`nf_roots_incremental_in`]
+//! serves cached roots in O(1) and normalizes the remaining *dirty* roots
+//! with **cache cuts**: each round's marking DFS stops at any sub-DAG whose
+//! normal form is certified, pre-seeding the rewrite memo to map it
+//! straight to its image — so after a log append, re-normalizing a touched
+//! tuple costs O(the delta region around the append), not O(its whole
+//! provenance DAG). The transaction-log engine builds its per-tuple
+//! dirty-set maintenance on exactly this hook (see
+//! `docs/ARCHITECTURE.md` at the repository root).
 //!
 //! # Saturation is surfaced, not swallowed
 //!
@@ -72,6 +86,8 @@
 //! let want = ar.minus(a, p);
 //! assert_eq!(nf(&mut ar, e1), want); // axiom 7
 //! ```
+
+use std::collections::HashMap;
 
 use crate::arena::{BinOp, DenseMemo, ExprArena, Node, NodeId};
 use crate::rewrite::reduce;
@@ -147,17 +163,19 @@ pub fn nf(arena: &mut ExprArena, root: NodeId) -> NodeId {
     out.id
 }
 
-/// Pooled scratch state for the normalizer: the rewrite memo plus the
-/// generation-stamped spine-interior flag buffer, both reusable across many
-/// normalizations against one long-lived arena.
+/// Pooled scratch state for the normalizer: the rewrite memo, the
+/// generation-stamped spine-interior flag buffer, and the per-round
+/// cache-cut list, all reusable across many normalizations against one
+/// long-lived arena.
 ///
-/// Both buffers reset in O(1) per use (one-time growth aside), so a pooled
+/// The buffers reset in O(1) per use (one-time growth aside), so a pooled
 /// normalization of a small root late in a huge arena costs O(its DAG) per
 /// round — the same contract as [`eval_arena_in`](crate::structure::eval_arena_in).
 #[derive(Debug, Default)]
 pub struct NfMemo {
     map: DenseMemo<NodeId>,
     flags: DenseMemo<u8>,
+    cuts: Vec<(NodeId, NodeId)>,
 }
 
 impl NfMemo {
@@ -208,7 +226,203 @@ pub fn nf_roots_budget_in(
     memo: &mut NfMemo,
     max_rounds: u32,
 ) -> Vec<NfOutcome> {
-    let NfMemo { map, flags } = memo;
+    nf_roots_driver(arena, roots, None, memo, max_rounds)
+}
+
+/// A persistent cache of **certified** normal forms, keyed by arena id.
+///
+/// The arena is append-only and ids are immutable, so `nf` is a pure
+/// function of the [`NodeId`]: an entry `root ↦ n` certified once stays
+/// valid for the lifetime of the arena, across any number of later interns
+/// — there is nothing to invalidate at this layer. (Invalidation lives one
+/// level up: a *tuple* whose provenance root changes simply stops hitting
+/// its old entry, which is exactly how the engine's dirty-tuple tracking
+/// works.)
+///
+/// Entries are inserted by [`nf_roots_incremental_in`] only for
+/// **non-saturated** outcomes, and both `root ↦ n` and `n ↦ n` are
+/// recorded (normal forms are fixpoints), so a cached region can be cut at
+/// either the original root or its image. [`NfCache::insert_certified`] is
+/// public for callers that certify through other paths; its contract is
+/// that the value really is the certified normal form of the key *in the
+/// same arena* — a wrong entry poisons every later query that cuts at it.
+///
+/// ```
+/// use uprov_core::{nf_roots_in, nf_roots_incremental_in, AtomTable, ExprArena, NfCache, NfMemo};
+///
+/// let (mut t, mut ar) = (AtomTable::new(), ExprArena::new());
+/// let (mut cache, mut memo) = (NfCache::new(), NfMemo::new());
+/// let a = ar.atom(t.fresh_tuple());
+/// let p = ar.atom(t.fresh_txn());
+/// let ins = ar.plus_i(a, p);
+/// let e = ar.minus(ins, p); // (a +I p) − p  →  a − p
+///
+/// let first = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
+/// let again = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
+/// assert_eq!(first[0].id, again[0].id);
+/// assert_eq!(again[0].rounds, 0, "second query is a pure cache hit");
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NfCache {
+    map: HashMap<NodeId, NodeId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl NfCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The certified normal form of `id`, if one is recorded.
+    #[inline]
+    pub fn lookup(&self, id: NodeId) -> Option<NodeId> {
+        self.map.get(&id).copied()
+    }
+
+    /// True if `id` has a certified normal form recorded.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Records `nf` as the certified normal form of `root` (and of itself:
+    /// normal forms are fixpoints, so `nf ↦ nf` is recorded too).
+    ///
+    /// Contract: `nf` must be the true, certified (non-saturated) normal
+    /// form of `root` in the arena this cache is used with. Violating it
+    /// silently corrupts later incremental normalizations.
+    pub fn insert_certified(&mut self, root: NodeId, nf: NodeId) {
+        self.map.insert(root, nf);
+        self.map.insert(nf, nf);
+    }
+
+    /// Number of recorded entries (including the `nf ↦ nf` fixpoints).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entry is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Root-level cache hits served so far (cuts inside dirty roots are not
+    /// counted — they are visible as the `rounds == 0` fast path only at
+    /// the root level).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Root-level cache misses (roots that entered the round loop).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every entry (and the hit/miss counters). The cache never
+    /// *needs* clearing for correctness; this is a memory valve for
+    /// long-lived engines.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// [`nf_roots_in`] with a persistent [`NfCache`]: roots whose normal form
+/// is already certified are served in O(1) without entering the round loop
+/// (`rounds == 0` in their [`NfOutcome`]), and the remaining **dirty**
+/// roots are normalized as one batch whose per-round passes *cut* at any
+/// sub-DAG with a cached normal form — the marking DFS treats it as an
+/// opaque leaf pre-mapped to its certified image, so re-normalizing a log
+/// append costs O(delta region), not O(whole provenance DAG).
+///
+/// Soundness of the cuts: a cached image is a certified normal form, and
+/// normality is a property of the expression alone — a node strictly
+/// inside a certified region admits no redex in any context, while redexes
+/// *spanning* the boundary are rooted at nodes at-or-above the cut, which
+/// the pass still visits and reduces with full visibility into the cached
+/// structure (rules match on real nodes, not on the cut). Certification of
+/// the dirty batch keeps PR 3's all-or-nothing fixpoint rule: interior
+/// marks are unioned across the dirty roots, a root that is itself interior
+/// to a sibling's block is explicitly re-reduced by the driver, and only a
+/// round in which **no** dirty root moved certifies the batch.
+///
+/// Newly certified outcomes are inserted into the cache; saturated ones are
+/// **not** (their ids are best-effort, see [`NfOutcome::saturated`]) and
+/// keep reporting saturation on every retry until a larger budget resolves
+/// them.
+pub fn nf_roots_incremental_in(
+    arena: &mut ExprArena,
+    roots: &[NodeId],
+    cache: &mut NfCache,
+    memo: &mut NfMemo,
+) -> Vec<NfOutcome> {
+    nf_roots_incremental_budget_in(arena, roots, cache, memo, MAX_ROUNDS)
+}
+
+/// [`nf_roots_incremental_in`] with an explicit round budget (see
+/// [`nf_budget_in`]).
+pub fn nf_roots_incremental_budget_in(
+    arena: &mut ExprArena,
+    roots: &[NodeId],
+    cache: &mut NfCache,
+    memo: &mut NfMemo,
+    max_rounds: u32,
+) -> Vec<NfOutcome> {
+    let mut out: Vec<NfOutcome> = Vec::with_capacity(roots.len());
+    let mut dirty_ix: Vec<usize> = Vec::new();
+    let mut dirty_roots: Vec<NodeId> = Vec::new();
+    for (i, &r) in roots.iter().enumerate() {
+        match cache.lookup(r) {
+            Some(n) => {
+                cache.hits += 1;
+                out.push(NfOutcome {
+                    id: n,
+                    rounds: 0,
+                    saturated: false,
+                });
+            }
+            None => {
+                cache.misses += 1;
+                dirty_ix.push(i);
+                dirty_roots.push(r);
+                // Placeholder; overwritten below.
+                out.push(NfOutcome {
+                    id: r,
+                    rounds: max_rounds,
+                    saturated: true,
+                });
+            }
+        }
+    }
+    if dirty_roots.is_empty() {
+        return out;
+    }
+    let computed = nf_roots_driver(arena, &dirty_roots, Some(cache), memo, max_rounds);
+    for (&ix, o) in dirty_ix.iter().zip(computed) {
+        if !o.saturated {
+            cache.insert_certified(roots[ix], o.id);
+        }
+        out[ix] = o;
+    }
+    out
+}
+
+/// The shared round loop behind [`nf_roots_budget_in`] (no cache) and
+/// [`nf_roots_incremental_budget_in`] (cache cuts enabled). `cache` is read
+/// per round to cut the marking DFS and pre-seed the rewrite memo; entries
+/// are never inserted here.
+fn nf_roots_driver(
+    arena: &mut ExprArena,
+    roots: &[NodeId],
+    cache: Option<&NfCache>,
+    memo: &mut NfMemo,
+    max_rounds: u32,
+) -> Vec<NfOutcome> {
+    let NfMemo { map, flags, cuts } = memo;
     let mut out: Vec<NfOutcome> = roots
         .iter()
         .map(|&r| NfOutcome {
@@ -226,10 +440,19 @@ pub fn nf_roots_budget_in(
         // the whole batch: the VISITED stamp makes both DFSes skip
         // sub-DAGs another root already covered this round.
         flags.reset(len);
+        cuts.clear();
         for o in out.iter() {
-            mark_spine_interiors_into(arena, o.id, flags);
+            mark_spine_interiors_into(arena, o.id, flags, cache, cuts);
         }
         map.reset(len);
+        // Seed the pass with the certified sub-normal-forms found by the
+        // marking sweep: the rewrite DFS then treats each cut as an opaque
+        // leaf already mapped to its image, never descending below it.
+        // Children always have smaller ids than parents, so every cut id
+        // fits the memo sized by the round's maximal root.
+        for &(id, nf) in cuts.iter() {
+            map.set(id, nf);
+        }
         let marked: &DenseMemo<u8> = flags;
         let mut step = |ar: &mut ExprArena, orig: NodeId, rebuilt: NodeId| {
             if skips_reduction(ar, marked, orig, rebuilt) {
@@ -289,7 +512,20 @@ const VISITED: u8 = 4;
 /// child. One explicit-stack DFS over the root's sub-DAG — O(DAG) per
 /// round thanks to the generation-stamped buffer (growth to the root's
 /// prefix happens once per pooled buffer, not per round).
-fn mark_spine_interiors_into(arena: &ExprArena, root: NodeId, flags: &mut DenseMemo<u8>) {
+///
+/// With a `cache`, the DFS additionally **cuts** at every node that has a
+/// certified normal form: the `(node, nf)` pair is recorded in `cuts`
+/// (deduplicated by the VISITED stamp) and the node's sub-DAG is not
+/// traversed — the round's rewrite pass will be pre-seeded to map the node
+/// straight to its image. The cut node's children get no interior marks,
+/// which is correct precisely because the pass never visits them.
+fn mark_spine_interiors_into(
+    arena: &ExprArena,
+    root: NodeId,
+    flags: &mut DenseMemo<u8>,
+    cache: Option<&NfCache>,
+    cuts: &mut Vec<(NodeId, NodeId)>,
+) {
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
         let bits = flags.get(id).copied().unwrap_or(0);
@@ -297,6 +533,10 @@ fn mark_spine_interiors_into(arena: &ExprArena, root: NodeId, flags: &mut DenseM
             continue;
         }
         flags.set(id, bits | VISITED);
+        if let Some(nf) = cache.and_then(|c| c.lookup(id)) {
+            cuts.push((id, nf));
+            continue;
+        }
         match arena.node(id) {
             Node::Zero | Node::Atom(_) => {}
             Node::Bin(op, a, b) => {
@@ -643,6 +883,107 @@ mod tests {
         assert!(!out.is_normal());
         // A sufficient budget resolves the same root.
         assert!(nf_in(&mut ar, e, &mut memo).is_normal());
+    }
+
+    #[test]
+    fn incremental_hits_skip_rounds_and_agree_with_scratch() {
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let mut cache = NfCache::new();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let e = ar.minus(ins, p);
+        let want = nf(&mut ar, e);
+        let first = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
+        assert_eq!(first[0].id, want);
+        assert!(first[0].rounds >= 2, "first query actually normalized");
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Second query: pure hit, by the original root or by its image.
+        let again = nf_roots_incremental_in(&mut ar, &[e, want], &mut cache, &mut memo);
+        assert!(again.iter().all(|o| o.id == want && o.rounds == 0));
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn incremental_dirty_root_reuses_clean_siblings_cached_spine() {
+        // Regression for the cache-cut marking: N is an unsorted +M spine
+        // certified as a "clean sibling"; the dirty roots then alias N —
+        // once as an interior node of their own +M block (A = N +M m3,
+        // where the cut sits *inside* the block the top must decompose)
+        // and once in a non-spine context (B = N − q). Both must land on
+        // exactly the from-scratch normal forms even though the pass never
+        // walks below N.
+        let (mut t, mut ar) = setup();
+        let h = ar.atom(t.fresh_tuple());
+        let mk = |ar: &mut ExprArena, t: &mut AtomTable| {
+            let x = ar.atom(t.fresh_tuple());
+            let q = ar.atom(t.fresh_txn());
+            ar.dot_m(x, q)
+        };
+        let m1 = mk(&mut ar, &mut t);
+        let m2 = mk(&mut ar, &mut t);
+        let m3 = mk(&mut ar, &mut t);
+        let q = ar.atom(t.fresh_txn());
+        let n1 = ar.plus_m(h, m2);
+        let n = ar.plus_m(n1, m1); // unsorted: m2 folded before m1
+        let mut memo = NfMemo::new();
+        let mut cache = NfCache::new();
+        // Certify the clean sibling first.
+        let warm = nf_roots_incremental_in(&mut ar, &[n], &mut cache, &mut memo);
+        assert!(warm[0].is_normal());
+        assert_ne!(warm[0].id, n, "the unsorted spine is not normal");
+        let a = ar.plus_m(n, m3);
+        let b = ar.minus(n, q);
+        let outs = nf_roots_incremental_in(&mut ar, &[a, b], &mut cache, &mut memo);
+        assert!(outs.iter().all(|o| o.is_normal()));
+        assert_eq!(outs[0].id, nf(&mut ar, a), "block-interior cut == scratch");
+        assert_eq!(outs[1].id, nf(&mut ar, b), "non-spine cut == scratch");
+        // The freshly certified roots now hit directly.
+        let again = nf_roots_incremental_in(&mut ar, &[a, b], &mut cache, &mut memo);
+        assert!(again.iter().all(|o| o.rounds == 0));
+    }
+
+    #[test]
+    fn incremental_cut_spanning_redex_still_fires() {
+        // nf is not compositional: a context around a certified region can
+        // create a redex spanning the boundary. Certify (x +I c), then
+        // normalize ((x +I c) − c) incrementally: the cut maps the inner
+        // insert to itself, and the minus at the top must still strip it
+        // (axiom 7) — reduce sees real structure, not the cut.
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let mut cache = NfCache::new();
+        let x = ar.atom(t.fresh_tuple());
+        let c = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(x, c);
+        let warm = nf_roots_incremental_in(&mut ar, &[ins], &mut cache, &mut memo);
+        assert_eq!(warm[0].id, ins, "x +I c is already normal");
+        let e = ar.minus(ins, c);
+        let out = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
+        let want = ar.minus(x, c);
+        assert_eq!(out[0].id, want, "boundary redex fired through the cut");
+    }
+
+    #[test]
+    fn incremental_does_not_cache_saturated_outcomes() {
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let mut cache = NfCache::new();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let e = ar.minus(ins, p);
+        let out = nf_roots_incremental_budget_in(&mut ar, &[e], &mut cache, &mut memo, 0);
+        assert!(out[0].saturated);
+        assert!(
+            cache.is_empty(),
+            "a best-effort id must never be certified into the cache"
+        );
+        // A real budget resolves and certifies.
+        let out = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
+        assert!(out[0].is_normal());
+        assert!(cache.contains(e));
     }
 
     #[test]

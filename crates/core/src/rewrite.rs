@@ -333,22 +333,37 @@ pub static MOD_SPLIT_SUM: RewriteRule = RewriteRule {
         if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
             return None;
         }
-        let (head, mut incs) = block(arena, BinOp::PlusM, id);
-        let pos = incs.iter().position(|&m| {
+        let (head, incs) = block(arena, BinOp::PlusM, id);
+        let is_sum_dot = |arena: &ExprArena, m: NodeId| {
             matches!(*arena.node(m), Node::Bin(BinOp::DotM, e, _)
                 if matches!(arena.node(e), Node::Sum(_)))
-        })?;
-        let Node::Bin(BinOp::DotM, e, c) = *arena.node(incs.remove(pos)) else {
-            unreachable!("position matched");
         };
-        let Node::Sum(ts) = arena.node(e).clone() else {
-            unreachable!("position matched");
-        };
-        for t in ts.iter() {
-            let dot = arena.dot_m(*t, c);
-            incs.push(dot);
+        if !incs.iter().any(|&m| is_sum_dot(arena, m)) {
+            return None;
         }
-        Some(build_spine(arena, BinOp::PlusM, head, incs))
+        // Split every Σ-sourced increment in one application. `reduce`
+        // saturates the rule table at the block top, so splitting one Σ per
+        // application would re-decompose and re-intern the whole spine per
+        // Σ-increment — O(block²) time *and* interned garbage on log-replay
+        // spines, where every multi-source `modify` contributes one.
+        let mut split = Vec::with_capacity(incs.len());
+        for m in incs {
+            if !is_sum_dot(arena, m) {
+                split.push(m);
+                continue;
+            }
+            let Node::Bin(BinOp::DotM, e, c) = *arena.node(m) else {
+                unreachable!("is_sum_dot matched");
+            };
+            let Node::Sum(ts) = arena.node(e).clone() else {
+                unreachable!("is_sum_dot matched");
+            };
+            for t in ts.iter() {
+                let dot = arena.dot_m(*t, c);
+                split.push(dot);
+            }
+        }
+        Some(build_spine(arena, BinOp::PlusM, head, split))
     },
 };
 

@@ -7,8 +7,9 @@
 //! network-enabled toolchain is available (see ROADMAP.md).
 
 use uprov_core::{
-    equiv, eval, eval_arena, eval_arena_in, eval_many, nf, nf_in, Atom, AtomTable, DenseMemo, Expr,
-    ExprArena, ExprRef, NfMemo, NodeId, UpdateStructure, Valuation,
+    equiv, eval, eval_arena, eval_arena_in, eval_many, nf, nf_in, nf_roots_incremental_in, Atom,
+    AtomTable, DenseMemo, Expr, ExprArena, ExprRef, NfCache, NfMemo, NodeId, UpdateStructure,
+    Valuation,
 };
 use uprov_structures::{Bool, Worlds};
 
@@ -420,6 +421,91 @@ fn dense_memo_survives_arena_growth_between_queries() {
             eval_arena(&ar, root, &Bool, &val),
             "step {step}: growth leaked stale values"
         );
+    }
+}
+
+#[test]
+fn prop_nf_incremental_agrees_with_scratch_after_interleavings() {
+    // The incremental-maintenance property: roots built in append-shaped
+    // waves (each wave wraps earlier roots in fresh log-like operations)
+    // and normalized through one persistent NfCache — with random batch
+    // composition, random warm-up order, and occasional cache clears
+    // ("invalidate everything") — must land on exactly the from-scratch
+    // per-root normal forms, and normalization must preserve evaluation
+    // under both catalogue structures.
+    let mut memo = NfMemo::new();
+    for seed in 0..CASES / 6 {
+        let mut rng = Rng::new(seed * 6_700_417 + 31);
+        let mut table = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let mut cache = NfCache::new();
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut live: Vec<NodeId> = vec![ExprArena::ZERO];
+        for wave in 0..5 {
+            // "Append": either a fresh random DAG, or an extension of a
+            // live root by an insert / delete / modify-shaped wrapper —
+            // the dirty-root-aliasing-a-cached-spine case arises whenever
+            // the wrapped root was certified in an earlier wave.
+            for _ in 0..2 + rng.below(3) {
+                let id = if rng.coin() || live.len() < 2 {
+                    let (e, a) = random_expr(&mut rng, &mut table, 15);
+                    atoms.extend(a);
+                    ar.import(&e)
+                } else {
+                    let base = live[rng.below(live.len())];
+                    let p_atom = table.fresh_txn();
+                    atoms.push(p_atom);
+                    let p = ar.atom(p_atom);
+                    match rng.below(3) {
+                        0 => ar.plus_i(base, p),
+                        1 => ar.minus(base, p),
+                        _ => {
+                            let src = live[rng.below(live.len())];
+                            let dot = ar.dot_m(src, p);
+                            ar.plus_m(base, dot)
+                        }
+                    }
+                };
+                live.push(id);
+            }
+            if rng.below(4) == 0 {
+                cache.clear(); // full invalidation: everything dirty again
+            }
+            // A random batch over live roots (repeats allowed).
+            let batch: Vec<NodeId> = (0..1 + rng.below(live.len()))
+                .map(|_| live[rng.below(live.len())])
+                .collect();
+            let outcomes = nf_roots_incremental_in(&mut ar, &batch, &mut cache, &mut memo);
+            for (i, (&r, out)) in batch.iter().zip(&outcomes).enumerate() {
+                assert!(
+                    out.is_normal(),
+                    "seed {seed} wave {wave}: root {i} saturated"
+                );
+                assert_eq!(
+                    out.id,
+                    nf(&mut ar, r),
+                    "seed {seed} wave {wave}: incremental root {i} != scratch nf"
+                );
+            }
+            // Evaluation is preserved through the cache cuts.
+            let val = random_valuation(&mut rng, &atoms);
+            let mut wval: Valuation<u64> = Valuation::constant(u64::MAX);
+            for (a, v) in val.overrides() {
+                wval.set(a, if *v { u64::MAX } else { 0 });
+            }
+            for (&r, out) in batch.iter().zip(&outcomes) {
+                assert_eq!(
+                    eval_arena(&ar, r, &Bool, &val),
+                    eval_arena(&ar, out.id, &Bool, &val),
+                    "seed {seed} wave {wave}: Bool evaluation changed"
+                );
+                assert_eq!(
+                    eval_arena(&ar, r, &Worlds, &wval),
+                    eval_arena(&ar, out.id, &Worlds, &wval),
+                    "seed {seed} wave {wave}: Worlds evaluation changed"
+                );
+            }
+        }
     }
 }
 

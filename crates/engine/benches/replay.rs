@@ -1,9 +1,9 @@
 //! Engine-layer benchmarks: log parsing, replay throughput, abort-query
-//! latency, log equivalence — and the long-block normalization scaling
-//! guard.
+//! latency, log equivalence, the long-block normalization scaling guard —
+//! and the incremental append-then-query workloads.
 //!
 //! Run with `cargo bench -p uprov-engine`; set `BENCHKIT_OUT=path.json` to
-//! write the machine-readable report (the committed `BENCH_pr3.json`).
+//! write the machine-readable report (the committed `BENCH_pr4.json`).
 //!
 //! The `nf/acspine*` series re-measures PR 2's `arena/equiv/acspine200`
 //! workload (normalize an unsorted 200-increment `+M` spine and its
@@ -12,6 +12,15 @@
 //! now block-once, O(block log block). The [`benchkit`] ratio guard fails
 //! the bench (and CI) if the 100→400 scaling drifts back toward the 16×
 //! of a quadratic.
+//!
+//! The `engine/append_then_*` pairs measure the PR 4 incremental NF cache:
+//! append one transaction to a warm 10 000-update state, then re-run the
+//! NF-backed queries. The `_incremental` side goes through the cache (only
+//! provenance the cache has never certified re-normalizes); the `_scratch`
+//! side is the from-scratch baseline (`equivalent_uncached` /
+//! `abort_symbolic_uncached`, which re-normalize the whole database). Two
+//! [`benchkit`] `guard_speedup` floors fail CI if the incremental path
+//! drops below 10× over from-scratch.
 
 use benchkit::{black_box, Harness};
 use uprov_core::{equiv_in, ExprArena, NfMemo, NodeId};
@@ -140,6 +149,60 @@ fn main() {
         "nf/acspine400",
         "nf/acspine100",
         9.0,
+    );
+
+    // --- Incremental re-normalization: append one transaction to a warm
+    //     10k-update state, then re-run the NF-backed queries. The cache
+    //     makes repeated queries O(delta); the `_scratch` baselines
+    //     re-normalize the whole database (including the accumulator's
+    //     10k-increment spine) on every call.
+    //     bench_full: both guards compare medians, so full sampling even
+    //     under BENCHKIT_SMOKE (see the acspine note above). ---
+    let mut inc_engine = Engine::new();
+    let mut inc_state = inc_engine.replay(&log).expect("replays");
+    let pre_append = inc_state.clone();
+    let cert = inc_engine.certify(&mut inc_state);
+    assert_eq!(cert.certified, inc_state.tuple_names().count());
+    let delta: UpdateLog = "begin tdelta\ninsert rdelta\ndelete r42\ncommit\n"
+        .parse()
+        .expect("valid");
+    inc_engine.append(&mut inc_state, &delta).expect("appends");
+    assert_eq!(inc_state.dirty_count(), 2, "one txn touches two tuples");
+    h.bench_full("engine/append_then_equiv/10k_incremental", || {
+        assert!(!inc_engine
+            .equivalent(black_box(&pre_append), black_box(&inc_state))
+            .is_equivalent());
+    });
+    h.bench_full("engine/append_then_equiv/10k_scratch", || {
+        assert!(!inc_engine
+            .equivalent_uncached(black_box(&pre_append), black_box(&inc_state))
+            .is_equivalent());
+    });
+    h.guard_speedup(
+        "append_then_equiv/incremental_vs_scratch",
+        "engine/append_then_equiv/10k_scratch",
+        "engine/append_then_equiv/10k_incremental",
+        10.0,
+    );
+    h.bench_full("engine/append_then_abort/10k_incremental", || {
+        black_box(
+            inc_engine
+                .abort_symbolic(black_box(&inc_state), "t1250")
+                .expect("known txn"),
+        );
+    });
+    h.bench_full("engine/append_then_abort/10k_scratch", || {
+        black_box(
+            inc_engine
+                .abort_symbolic_uncached(black_box(&inc_state), "t1250")
+                .expect("known txn"),
+        );
+    });
+    h.guard_speedup(
+        "append_then_abort/incremental_vs_scratch",
+        "engine/append_then_abort/10k_scratch",
+        "engine/append_then_abort/10k_incremental",
+        10.0,
     );
 
     h.finish();

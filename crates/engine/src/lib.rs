@@ -3,8 +3,9 @@
 //! This crate is the ROADMAP "engine layer" end-to-end: parse a textual
 //! update log ([`UpdateLog`], module [`log`]), replay it into per-tuple
 //! provenance expressions built **incrementally** in a long-lived
-//! hash-consed [`ExprArena`] ([`Engine::replay`]), then answer the queries
-//! the paper's framework exists for:
+//! hash-consed [`ExprArena`] ([`Engine::replay`], extended in place by
+//! [`Engine::append`]), then answer the queries the paper's framework
+//! exists for:
 //!
 //! * **Transaction abortion** (Example 3.2 / Section 4.1): "what does the
 //!   database look like if transaction `T` aborts?" — symbolically, by
@@ -12,7 +13,8 @@
 //!   or concretely under any Update-Structure, by evaluating every tuple
 //!   under the valuation `T ↦ 0` ([`Engine::abort_eval`]).
 //! * **Deletion propagation** (Section 4.1): which tuples disappear when a
-//!   base tuple is deleted ([`Engine::delete_base_eval`]).
+//!   base tuple is deleted — symbolically ([`Engine::delete_base_symbolic`])
+//!   or by evaluation ([`Engine::delete_base_eval`]).
 //! * **Log equivalence** (Section 3 / Figure 3): are two logs equivalent —
 //!   per tuple, by normal-form id comparison in the shared arena
 //!   ([`Engine::equivalent`], three-valued via
@@ -27,6 +29,55 @@
 //! repeated queries with [`Engine::eval_tuples_in`]), and the block-once
 //! normalizer keeps the long `+I`/`+M` spines such logs produce
 //! near-linear to canonicalize.
+//!
+//! # Incremental re-normalization
+//!
+//! The paper frames provenance as *incrementally maintained* state over an
+//! update log, and the engine's normal forms are maintained the same way:
+//! the engine keeps a persistent [`NfCache`] of certified normal forms
+//! (valid forever — the arena is append-only, so `nf` is a pure function
+//! of the id), every [`ReplayState`] tracks the tuples an append **dirtied**
+//! plus a per-tuple map of certified normal forms, and the NF-backed
+//! queries ([`Engine::equivalent`], [`Engine::abort_symbolic`],
+//! [`Engine::delete_base_symbolic`]) go through
+//! [`uprov_core::nf_roots_incremental_in`]: clean roots are O(1) cache
+//! hits, dirty roots re-normalize with *cache cuts* that stop at certified
+//! sub-DAGs — so an append-then-query cycle on a 10 000-update log costs
+//! O(delta), not O(log). See `docs/ARCHITECTURE.md` for the cache
+//! lifecycle and the invalidation state machine, and `BENCH_pr4.json` for
+//! the guarded append-then-query speedups.
+//!
+//! ```
+//! use uprov_engine::{Engine, UpdateLog};
+//!
+//! let mut engine = Engine::new();
+//! let log: UpdateLog = "\
+//!     base inventory
+//!     begin t1
+//!     insert order1
+//!     modify inventory <- order1 inventory
+//!     commit
+//! ".parse().unwrap();
+//! let mut state = engine.replay(&log).unwrap();
+//!
+//! // Certify once: every tuple's normal form goes on record.
+//! let cert = engine.certify(&mut state);
+//! assert_eq!(cert.certified, 2);
+//! assert_eq!(state.dirty_count(), 0);
+//!
+//! // Append one transaction: only the touched tuple is invalidated.
+//! let delta: UpdateLog = "begin t2\ninsert order2\ncommit\n".parse().unwrap();
+//! engine.append(&mut state, &delta).unwrap();
+//! assert_eq!(state.dirty_tuples().collect::<Vec<_>>(), ["order2"]);
+//! assert!(state.certified_nf("inventory").is_some(), "untouched: still certified");
+//!
+//! // NF-backed queries are now O(delta): clean tuples are cache hits,
+//! // only order2's (tiny) provenance has to normalize.
+//! let misses_before = engine.nf_cache().misses();
+//! let view = engine.abort_symbolic(&state, "t2").unwrap();
+//! assert!(view.iter().all(|t| !t.saturated));
+//! assert!(engine.nf_cache().misses() - misses_before <= 1);
+//! ```
 //!
 //! ```
 //! use uprov_engine::{Engine, UpdateLog};
@@ -59,23 +110,31 @@
 
 pub mod log;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use uprov_core::{
-    eval_roots_in, nf_roots_in, Atom, AtomKind, AtomTable, DenseMemo, ExprArena, NfMemo, NodeId,
-    UpdateStructure, Valuation,
+    eval_roots_in, nf_roots_in, nf_roots_incremental_in, Atom, AtomKind, AtomTable, DenseMemo,
+    ExprArena, NfCache, NfMemo, NodeId, UpdateStructure, Valuation,
 };
 
 pub use crate::log::{Op, ParseError, Txn, UpdateLog};
 
-/// A replay failure.
+/// A replay failure. [`Engine::replay`] and [`Engine::append`] are atomic:
+/// on `Err` the target state **and** the engine's atom table are unchanged
+/// (validation peeks at kinds without interning).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplayError {
     /// One name is used both as a tuple and as a transaction — atoms are
     /// kind-tagged, so the log is ambiguous.
     NameKindClash {
         /// The clashing name.
+        name: String,
+    },
+    /// An appended log declares `base` for a tuple the state already
+    /// tracks — accepting it would retroactively rewrite history.
+    LateBase {
+        /// The re-declared tuple.
         name: String,
     },
 }
@@ -85,6 +144,12 @@ impl fmt::Display for ReplayError {
         match self {
             ReplayError::NameKindClash { name } => {
                 write!(f, "`{name}` is used both as a tuple and as a transaction")
+            }
+            ReplayError::LateBase { name } => {
+                write!(
+                    f,
+                    "`base {name}` re-declares a tuple the state already tracks"
+                )
             }
         }
     }
@@ -119,22 +184,51 @@ impl fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// The provenance state of one replayed log: every touched tuple's current
-/// symbolic provenance, plus the atoms behind base tuples and transactions.
+/// symbolic provenance, the atoms behind base tuples and transactions, and
+/// the incremental-normalization bookkeeping — a **dirty set** of tuples
+/// touched since the last [`Engine::certify`] plus the per-tuple map of
+/// certified normal forms for the clean ones.
 ///
-/// Produced by [`Engine::replay`]; all ids live in that engine's arena, so
-/// several `Replayed` states (e.g. the two sides of an equivalence query)
-/// share sub-DAGs maximally.
-#[derive(Debug, Clone)]
-pub struct Replayed {
+/// Produced by [`Engine::replay`] and extended in place by
+/// [`Engine::append`]; all ids live in that engine's arena, so several
+/// `ReplayState`s (e.g. the two sides of an equivalence query) share
+/// sub-DAGs maximally.
+///
+/// The maintenance state machine per tuple (see `docs/ARCHITECTURE.md`):
+/// replay/append **touch** a tuple, which marks it dirty and drops its
+/// certified entry; [`Engine::certify`] normalizes the dirty set and moves
+/// each certified tuple back to clean. Queries never change the sets —
+/// they read through the engine's [`NfCache`], which self-invalidates
+/// because a touched tuple's *root id* changed.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
     tuples: BTreeMap<String, NodeId>,
     base_atoms: BTreeMap<String, Atom>,
     txn_atoms: BTreeMap<String, Atom>,
     updates: usize,
+    nf_by_tuple: BTreeMap<String, NodeId>,
+    dirty: BTreeSet<String>,
 }
 
-impl Replayed {
+/// Former name of [`ReplayState`], kept as an alias for code written
+/// against the pre-incremental API.
+pub type Replayed = ReplayState;
+
+impl ReplayState {
     /// The current provenance of `tuple` ([`ExprArena::ZERO`] for tuples
     /// the log never touched and never declared).
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_core::ExprArena;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"begin t\ninsert x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// assert_ne!(state.provenance("x"), ExprArena::ZERO);
+    /// assert_eq!(state.provenance("never-mentioned"), ExprArena::ZERO);
+    /// ```
     pub fn provenance(&self, tuple: &str) -> NodeId {
         self.tuples.get(tuple).copied().unwrap_or(ExprArena::ZERO)
     }
@@ -163,10 +257,74 @@ impl Replayed {
     pub fn update_count(&self) -> usize {
         self.updates
     }
+
+    /// Tuples touched since the last [`Engine::certify`] (all of them
+    /// right after a [`Engine::replay`]), in sorted order.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    ///
+    /// let mut engine = Engine::new();
+    /// let mut state = engine
+    ///     .replay(&"base x\nbegin t\ninsert y\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// assert_eq!(state.dirty_tuples().collect::<Vec<_>>(), ["x", "y"]);
+    /// engine.certify(&mut state);
+    /// assert_eq!(state.dirty_count(), 0);
+    /// ```
+    pub fn dirty_tuples(&self) -> impl Iterator<Item = &str> {
+        self.dirty.iter().map(String::as_str)
+    }
+
+    /// Number of dirty tuples (see [`ReplayState::dirty_tuples`]).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// True if `tuple` was touched since the last [`Engine::certify`].
+    pub fn is_dirty(&self, tuple: &str) -> bool {
+        self.dirty.contains(tuple)
+    }
+
+    /// The certified normal form of `tuple`'s current provenance, if the
+    /// tuple is clean (certified and untouched since). Dirty or
+    /// never-certified tuples report `None`; run [`Engine::certify`] to
+    /// (re)populate.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    ///
+    /// let mut engine = Engine::new();
+    /// let mut state = engine
+    ///     .replay(&"begin t\ninsert x\ndelete x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// assert_eq!(state.certified_nf("x"), None, "dirty after replay");
+    /// engine.certify(&mut state);
+    /// let nf = state.certified_nf("x").expect("certified");
+    /// // x was inserted then deleted by the same txn: t − t is its own NF.
+    /// assert_eq!(engine.render(nf), "t - t");
+    /// ```
+    pub fn certified_nf(&self, tuple: &str) -> Option<NodeId> {
+        self.nf_by_tuple.get(tuple).copied()
+    }
+
+    /// Number of tuples with a certified normal form on record.
+    pub fn certified_count(&self) -> usize {
+        self.nf_by_tuple.len()
+    }
+
+    /// Records a new provenance root for `tuple`, invalidating its
+    /// certified normal form and marking it dirty.
+    fn touch(&mut self, tuple: &str, id: NodeId) {
+        self.nf_by_tuple.remove(tuple);
+        self.dirty.insert(tuple.to_owned());
+        self.tuples.insert(tuple.to_owned(), id);
+    }
 }
 
-/// Per-tuple answer of a symbolic abort query: the tuple's provenance with
-/// the aborted transaction zeroed out and re-normalized.
+/// Per-tuple answer of a symbolic abort or deletion-propagation query: the
+/// tuple's provenance with the aborted transaction (or deleted base tuple)
+/// zeroed out and re-normalized.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymbolicTuple {
     /// The tuple's name.
@@ -194,27 +352,60 @@ pub struct Equivalence {
 
 impl Equivalence {
     /// True iff every tuple's provenance was proven equivalent.
+    ///
+    /// ```
+    /// use uprov_engine::Equivalence;
+    ///
+    /// let clean = Equivalence { differing: vec![], undecided: vec![] };
+    /// assert!(clean.is_equivalent());
+    /// let witnessed = Equivalence { differing: vec!["x".into()], undecided: vec![] };
+    /// assert!(!witnessed.is_equivalent());
+    /// ```
     pub fn is_equivalent(&self) -> bool {
         self.differing.is_empty() && self.undecided.is_empty()
     }
 }
 
+/// Summary of one [`Engine::certify`] sweep over a state's dirty set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certification {
+    /// Tuples whose normal form was certified and recorded this sweep.
+    pub certified: usize,
+    /// Tuples whose normalization saturated the round budget — left dirty
+    /// and unrecorded (a best-effort id must never enter the cache).
+    pub saturated: Vec<String>,
+}
+
 /// The replay engine: a long-lived [`AtomTable`] + [`ExprArena`] plus
-/// pooled memo buffers, shared across every log replayed through it.
+/// pooled memo buffers and the persistent normal-form cache, shared across
+/// every log replayed through it.
 ///
 /// Replaying several logs through one engine puts their provenance in one
-/// arena — the precondition for O(1) cross-log equivalence comparison and
-/// maximal structure sharing.
+/// arena — the precondition for O(1) cross-log equivalence comparison,
+/// maximal structure sharing, and normal-form cache hits across logs.
 #[derive(Debug, Default)]
 pub struct Engine {
     atoms: AtomTable,
     arena: ExprArena,
     nf_memo: NfMemo,
+    nf_cache: NfCache,
     subst_memo: DenseMemo<NodeId>,
+    // Persistent `(zeroed atom, root) ↦ substituted root` map: like normal
+    // forms, substitution images are pure functions of the id in an
+    // append-only arena, so repeated symbolic queries skip the O(union DAG)
+    // substitution sweep for every root the cache has seen.
+    subst_cache: HashMap<(Atom, NodeId), NodeId>,
 }
 
 impl Engine {
     /// An empty engine.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    ///
+    /// let engine = Engine::new();
+    /// assert!(engine.nf_cache().is_empty());
+    /// ```
     pub fn new() -> Self {
         Self::default()
     }
@@ -229,8 +420,35 @@ impl Engine {
         &self.arena
     }
 
+    /// The persistent normal-form cache backing the incremental queries.
+    /// Entries are keyed by arena id and stay valid for the engine's
+    /// lifetime; [`NfCache::hits`]/[`NfCache::misses`] expose how much
+    /// re-normalization the cache is absorbing.
+    pub fn nf_cache(&self) -> &NfCache {
+        &self.nf_cache
+    }
+
+    /// Drops every cached normal form **and** substitution image — the
+    /// memory valve for long-lived engines (never needed for correctness:
+    /// both caches hold pure facts about ids). Per-state certified maps
+    /// ([`ReplayState::certified_nf`]) are unaffected and remain valid.
+    pub fn clear_nf_cache(&mut self) {
+        self.nf_cache.clear();
+        self.subst_cache.clear();
+    }
+
     /// Renders a provenance id in the paper's notation (via the legacy
     /// expression bridge).
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"base x\nbegin t\nmodify y <- x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// assert_eq!(engine.render(state.provenance("y")), "x .M t");
+    /// ```
     pub fn render(&self, id: NodeId) -> String {
         self.arena.export(id).display(&self.atoms).to_string()
     }
@@ -249,8 +467,24 @@ impl Engine {
         }
     }
 
+    /// Read-only kind check: like [`Engine::kinded_atom`] but never interns
+    /// — the validation pass of [`Engine::append`] uses it so a rejected
+    /// log leaves the atom table exactly as it was (otherwise a name from a
+    /// failed append would be pinned to a kind forever and could make a
+    /// later, entirely valid log clash spuriously).
+    fn check_kind(&self, name: &str, kind: AtomKind) -> Result<(), ReplayError> {
+        match self.atoms.lookup(name) {
+            Some(a) if self.atoms.kind(a) != kind => Err(ReplayError::NameKindClash {
+                name: name.to_owned(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Replays a log into per-tuple provenance, interning incrementally
-    /// into the engine's arena.
+    /// into the engine's arena. Every touched tuple starts **dirty**; run
+    /// [`Engine::certify`] to populate the state's normal-form map, and
+    /// [`Engine::append`] to extend the state with further transactions.
     ///
     /// Semantics per update by transaction `T` (annotation atom `p`):
     ///
@@ -263,21 +497,100 @@ impl Engine {
     /// Base tuples start as their own atom; all other tuples start at `0`,
     /// so the zero axioms prune no-op updates (deleting an absent tuple,
     /// modifying from absent sources) at intern time.
-    pub fn replay(&mut self, log: &UpdateLog) -> Result<Replayed, ReplayError> {
-        let mut state = Replayed {
-            tuples: BTreeMap::new(),
-            base_atoms: BTreeMap::new(),
-            txn_atoms: BTreeMap::new(),
-            updates: 0,
+    pub fn replay(&mut self, log: &UpdateLog) -> Result<ReplayState, ReplayError> {
+        let mut state = ReplayState::default();
+        self.append(&mut state, log)?;
+        Ok(state)
+    }
+
+    /// Appends a log to an existing state in place — the maintenance
+    /// counterpart of [`Engine::replay`]: only the tuples the appended
+    /// transactions touch are invalidated (marked dirty, certified entry
+    /// dropped); everything else keeps its certified normal form, so the
+    /// next NF-backed query re-normalizes O(delta) roots instead of the
+    /// whole database.
+    ///
+    /// Re-using a transaction name continues the *same* transaction (same
+    /// annotation atom), matching the textual format's semantics. `base`
+    /// lines may declare **new** tuples only; re-declaring a tracked tuple
+    /// is a [`ReplayError::LateBase`]. The append is atomic: on `Err`
+    /// neither the state nor the engine's atom table changes. Returns the
+    /// number of updates applied.
+    ///
+    /// ```
+    /// use uprov_engine::{Engine, UpdateLog};
+    ///
+    /// let mut engine = Engine::new();
+    /// let log: UpdateLog = "base x\nbegin t1\ninsert y\ncommit\n".parse().unwrap();
+    /// let mut state = engine.replay(&log).unwrap();
+    /// engine.certify(&mut state);
+    ///
+    /// let delta: UpdateLog = "begin t2\ndelete y\ncommit\n".parse().unwrap();
+    /// assert_eq!(engine.append(&mut state, &delta).unwrap(), 1);
+    /// assert!(state.is_dirty("y"), "touched by the append");
+    /// assert!(!state.is_dirty("x"), "untouched: certified NF survives");
+    /// assert_eq!(state.update_count(), 2);
+    /// ```
+    pub fn append<'l>(
+        &mut self,
+        state: &mut ReplayState,
+        log: &'l UpdateLog,
+    ) -> Result<usize, ReplayError> {
+        // Validation pass: every name must resolve to a consistently
+        // kinded atom and no base tuple may be re-declared, *before* any
+        // mutation of the state or the atom table — so a failed append
+        // leaves both exactly as they were. `pending` tracks the kinds
+        // this log itself assigns, catching clashes internal to the log
+        // (two uses of one fresh name under different kinds) that the
+        // table alone cannot see.
+        let mut pending: HashMap<&str, AtomKind> = HashMap::new();
+        let check = |engine: &Engine,
+                     pending: &mut HashMap<&'l str, AtomKind>,
+                     name: &'l str,
+                     kind: AtomKind|
+         -> Result<(), ReplayError> {
+            engine.check_kind(name, kind)?;
+            match pending.insert(name, kind) {
+                Some(prev) if prev != kind => Err(ReplayError::NameKindClash {
+                    name: name.to_owned(),
+                }),
+                _ => Ok(()),
+            }
         };
         for b in &log.base {
-            let atom = self.tuple_atom(b)?;
-            state.base_atoms.insert(b.clone(), atom);
-            let id = self.arena.atom(atom);
-            state.tuples.insert(b.clone(), id);
+            if state.tuples.contains_key(b) {
+                return Err(ReplayError::LateBase { name: b.clone() });
+            }
+            check(self, &mut pending, b, AtomKind::Tuple)?;
         }
         for txn in &log.txns {
-            let p = self.kinded_atom(&txn.name, AtomKind::Txn)?;
+            check(self, &mut pending, &txn.name, AtomKind::Txn)?;
+            for op in &txn.ops {
+                match op {
+                    Op::Insert { tuple } | Op::Delete { tuple } => {
+                        check(self, &mut pending, tuple, AtomKind::Tuple)?;
+                    }
+                    Op::Modify { target, sources } => {
+                        check(self, &mut pending, target, AtomKind::Tuple)?;
+                        for s in sources {
+                            check(self, &mut pending, s, AtomKind::Tuple)?;
+                        }
+                    }
+                }
+            }
+        }
+        // Apply pass: infallible (all atoms validated above).
+        let before = state.updates;
+        for b in &log.base {
+            let atom = self.tuple_atom(b).expect("validated");
+            state.base_atoms.insert(b.clone(), atom);
+            let id = self.arena.atom(atom);
+            state.touch(b, id);
+        }
+        for txn in &log.txns {
+            let p = self
+                .kinded_atom(&txn.name, AtomKind::Txn)
+                .expect("validated");
             state.txn_atoms.insert(txn.name.clone(), p);
             let pa = self.arena.atom(p);
             for op in &txn.ops {
@@ -286,12 +599,12 @@ impl Engine {
                     Op::Insert { tuple } => {
                         let cur = state.provenance(tuple);
                         let next = self.arena.plus_i(cur, pa);
-                        state.tuples.insert(tuple.clone(), next);
+                        state.touch(tuple, next);
                     }
                     Op::Delete { tuple } => {
                         let cur = state.provenance(tuple);
                         let next = self.arena.minus(cur, pa);
-                        state.tuples.insert(tuple.clone(), next);
+                        state.touch(tuple, next);
                     }
                     Op::Modify { target, sources } => {
                         // Snapshot source provenance before any mutation of
@@ -310,44 +623,126 @@ impl Engine {
                             // present in the state for queries to report.
                             let cur = state.provenance(s);
                             let next = self.arena.minus(cur, pa);
-                            state.tuples.insert(s.clone(), next);
+                            state.touch(s, next);
                         }
                         let next = self.arena.plus_m(old_target, dot);
-                        state.tuples.insert(target.clone(), next);
+                        state.touch(target, next);
                     }
                 }
             }
         }
-        Ok(state)
+        Ok(state.updates - before)
     }
 
-    /// The symbolic abort query: substitutes `txn ↦ 0` into every tuple's
-    /// provenance and re-normalizes — "the database if `txn` aborts", as
-    /// expressions over the surviving annotations (Section 4.1's
-    /// specialization, kept symbolic).
+    /// Normalizes every dirty tuple of `state` (incrementally — certified
+    /// sub-DAGs are cut, clean tuples are not revisited at all), records
+    /// the certified normal forms in the state's per-tuple map, and clears
+    /// the dirty set. Tuples whose normalization saturated stay dirty and
+    /// are reported in [`Certification::saturated`] instead of being
+    /// recorded with a best-effort id.
     ///
-    /// A [`SymbolicTuple::provenance`] of [`ExprArena::ZERO`] proves the
-    /// tuple absent under *every* Update-Structure; evaluate under a
-    /// concrete structure ([`Engine::abort_eval`]) for the per-structure
-    /// answer.
-    pub fn abort_symbolic(
+    /// Certification is a *maintenance* operation: queries work without it
+    /// (they warm the same engine-level cache), but a certify after each
+    /// append batch keeps [`ReplayState::certified_nf`] total and makes the
+    /// first post-append query O(delta) too.
+    ///
+    /// ```
+    /// use uprov_engine::{Engine, UpdateLog};
+    ///
+    /// let mut engine = Engine::new();
+    /// let log: UpdateLog = "base x\nbegin t\ninsert y\ninsert y\ncommit\n".parse().unwrap();
+    /// let mut state = engine.replay(&log).unwrap();
+    /// let cert = engine.certify(&mut state);
+    /// assert_eq!(cert.certified, 2);
+    /// assert!(cert.saturated.is_empty());
+    /// // (y +I t) +I t certifies to its canonical spine, x to itself.
+    /// assert_eq!(state.certified_nf("x"), Some(state.provenance("x")));
+    /// ```
+    pub fn certify(&mut self, state: &mut ReplayState) -> Certification {
+        let dirty: Vec<String> = state.dirty.iter().cloned().collect();
+        let roots: Vec<NodeId> = dirty.iter().map(|n| state.provenance(n)).collect();
+        let outcomes = nf_roots_incremental_in(
+            &mut self.arena,
+            &roots,
+            &mut self.nf_cache,
+            &mut self.nf_memo,
+        );
+        let mut cert = Certification {
+            certified: 0,
+            saturated: Vec::new(),
+        };
+        for (name, out) in dirty.into_iter().zip(outcomes) {
+            if out.saturated {
+                cert.saturated.push(name);
+            } else {
+                state.dirty.remove(&name);
+                state.nf_by_tuple.insert(name, out.id);
+                cert.certified += 1;
+            }
+        }
+        cert
+    }
+
+    /// Shared body of the symbolic queries: substitute `zeroed ↦ 0` into
+    /// every tuple, then normalize each image — incrementally through the
+    /// NF cache, or from scratch for the validation baseline.
+    fn symbolic_zeroed(
         &mut self,
-        state: &Replayed,
-        txn: &str,
-    ) -> Result<Vec<SymbolicTuple>, QueryError> {
-        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
-            name: txn.to_owned(),
-        })?;
-        let map = HashMap::from([(p, ExprArena::ZERO)]);
-        // One shared-generation substitution across every tuple (sub-DAGs
-        // common to several tuples rebuild once), then normalize each image.
+        state: &ReplayState,
+        zeroed: Atom,
+        cached: bool,
+    ) -> Vec<SymbolicTuple> {
+        let map = HashMap::from([(zeroed, ExprArena::ZERO)]);
         let (names, roots): (Vec<&String>, Vec<NodeId>) =
             state.tuples.iter().map(|(n, &id)| (n, id)).unzip();
-        let substituted = self
-            .arena
-            .substitute_roots_in(&roots, &map, &mut self.subst_memo);
-        let outcomes = nf_roots_in(&mut self.arena, &substituted, &mut self.nf_memo);
-        Ok(names
+        // Substitution and normalization are both pure functions of the
+        // root id (the arena is append-only), so the incremental path
+        // caches both: roots the substitution cache has seen skip the
+        // sweep entirely, the rest substitute in one shared-generation
+        // batch (sub-DAGs common to several tuples rebuild once), and the
+        // NF cache then re-normalizes only images it has never certified —
+        // a repeated query against an appended log does O(delta) work.
+        let substituted = if cached {
+            // One hash probe per root: resolve hits immediately, remember
+            // which slots missed, batch-substitute those, back-fill.
+            let mut out: Vec<NodeId> = Vec::with_capacity(roots.len());
+            let mut miss_ix: Vec<usize> = Vec::new();
+            let mut misses: Vec<NodeId> = Vec::new();
+            for (i, &r) in roots.iter().enumerate() {
+                match self.subst_cache.get(&(zeroed, r)) {
+                    Some(&img) => out.push(img),
+                    None => {
+                        miss_ix.push(i);
+                        misses.push(r);
+                        out.push(r); // placeholder, overwritten below
+                    }
+                }
+            }
+            if !misses.is_empty() {
+                let images = self
+                    .arena
+                    .substitute_roots_in(&misses, &map, &mut self.subst_memo);
+                for ((&ix, &r), img) in miss_ix.iter().zip(&misses).zip(images) {
+                    self.subst_cache.insert((zeroed, r), img);
+                    out[ix] = img;
+                }
+            }
+            out
+        } else {
+            self.arena
+                .substitute_roots_in(&roots, &map, &mut self.subst_memo)
+        };
+        let outcomes = if cached {
+            nf_roots_incremental_in(
+                &mut self.arena,
+                &substituted,
+                &mut self.nf_cache,
+                &mut self.nf_memo,
+            )
+        } else {
+            nf_roots_in(&mut self.arena, &substituted, &mut self.nf_memo)
+        };
+        names
             .into_iter()
             .zip(outcomes)
             .map(|(name, nf)| SymbolicTuple {
@@ -355,7 +750,95 @@ impl Engine {
                 provenance: nf.id,
                 saturated: nf.saturated,
             })
-            .collect())
+            .collect()
+    }
+
+    /// The symbolic abort query: substitutes `txn ↦ 0` into every tuple's
+    /// provenance and re-normalizes — "the database if `txn` aborts", as
+    /// expressions over the surviving annotations (Section 4.1's
+    /// specialization, kept symbolic). Normalization is incremental:
+    /// repeated queries against a growing log re-normalize only the tuples
+    /// whose provenance changed since the cache last saw them.
+    ///
+    /// A [`SymbolicTuple::provenance`] of [`ExprArena::ZERO`] proves the
+    /// tuple absent under *every* Update-Structure; evaluate under a
+    /// concrete structure ([`Engine::abort_eval`]) for the per-structure
+    /// answer.
+    ///
+    /// ```
+    /// use uprov_engine::{Engine, UpdateLog};
+    /// use uprov_core::ExprArena;
+    ///
+    /// let mut engine = Engine::new();
+    /// let log: UpdateLog = "base x\nbegin t\nmodify y <- x\ncommit\n".parse().unwrap();
+    /// let state = engine.replay(&log).unwrap();
+    /// let view = engine.abort_symbolic(&state, "t").unwrap();
+    /// for tuple in &view {
+    ///     match tuple.name.as_str() {
+    ///         "x" => assert_eq!(engine.render(tuple.provenance), "x"),
+    ///         "y" => assert_eq!(tuple.provenance, ExprArena::ZERO),
+    ///         _ => unreachable!(),
+    ///     }
+    /// }
+    /// ```
+    pub fn abort_symbolic(
+        &mut self,
+        state: &ReplayState,
+        txn: &str,
+    ) -> Result<Vec<SymbolicTuple>, QueryError> {
+        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+            name: txn.to_owned(),
+        })?;
+        Ok(self.symbolic_zeroed(state, p, true))
+    }
+
+    /// [`Engine::abort_symbolic`] bypassing the normal-form cache: every
+    /// substituted root is normalized from scratch. This is the validation
+    /// and benchmarking baseline for the incremental path (the two must
+    /// agree id-for-id; the append-then-query benches guard the speedup) —
+    /// production callers want [`Engine::abort_symbolic`].
+    pub fn abort_symbolic_uncached(
+        &mut self,
+        state: &ReplayState,
+        txn: &str,
+    ) -> Result<Vec<SymbolicTuple>, QueryError> {
+        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+            name: txn.to_owned(),
+        })?;
+        Ok(self.symbolic_zeroed(state, p, false))
+    }
+
+    /// The symbolic deletion-propagation query: substitutes the base
+    /// tuple's atom `↦ 0` into every tuple's provenance and re-normalizes
+    /// (incrementally, like [`Engine::abort_symbolic`]) — "the database if
+    /// `tuple` had never been in the initial database", as expressions
+    /// over the surviving annotations. [`ExprArena::ZERO`] proves a tuple
+    /// certainly deleted with it; [`Engine::delete_base_eval`] is the
+    /// per-structure counterpart.
+    ///
+    /// ```
+    /// use uprov_engine::{Engine, UpdateLog};
+    /// use uprov_core::ExprArena;
+    ///
+    /// let mut engine = Engine::new();
+    /// let log: UpdateLog = "base x\nbegin t\nmodify y <- x\ncommit\n".parse().unwrap();
+    /// let state = engine.replay(&log).unwrap();
+    /// let view = engine.delete_base_symbolic(&state, "x").unwrap();
+    /// // y was derived solely from x: deleting x certainly deletes y.
+    /// let y = view.iter().find(|t| t.name == "y").unwrap();
+    /// assert_eq!(y.provenance, ExprArena::ZERO);
+    /// ```
+    pub fn delete_base_symbolic(
+        &mut self,
+        state: &ReplayState,
+        tuple: &str,
+    ) -> Result<Vec<SymbolicTuple>, QueryError> {
+        let a = state
+            .base_atom(tuple)
+            .ok_or_else(|| QueryError::UnknownTuple {
+                name: tuple.to_owned(),
+            })?;
+        Ok(self.symbolic_zeroed(state, a, true))
     }
 
     /// Evaluates every tuple under `structure` and an explicit valuation —
@@ -365,9 +848,22 @@ impl Engine {
     /// `DenseMemo<S::Value>` across structure types, so repeated queries
     /// under one structure should hold their own buffer and call
     /// [`Engine::eval_tuples_in`].
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_core::Valuation;
+    /// use uprov_structures::Bool;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"base x\nbegin t\ndelete x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// let rows = engine.eval_tuples(&state, &Bool, &Valuation::constant(true));
+    /// assert_eq!(rows, [("x", false)], "x was deleted");
+    /// ```
     pub fn eval_tuples<'s, S: UpdateStructure>(
         &mut self,
-        state: &'s Replayed,
+        state: &'s ReplayState,
         structure: &S,
         valuation: &Valuation<S::Value>,
     ) -> Vec<(&'s str, S::Value)> {
@@ -380,7 +876,7 @@ impl Engine {
     /// one structure allocation-free.
     pub fn eval_tuples_in<'s, S: UpdateStructure>(
         &mut self,
-        state: &'s Replayed,
+        state: &'s ReplayState,
         structure: &S,
         valuation: &Valuation<S::Value>,
         memo: &mut DenseMemo<S::Value>,
@@ -394,9 +890,21 @@ impl Engine {
     /// The concrete abort query: every tuple's value under `structure`
     /// when `txn` aborts (its atom maps to `0`) and everything else takes
     /// `present`.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_structures::Bool;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"begin t\ninsert x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// let rows = engine.abort_eval(&state, "t", &Bool, true).unwrap();
+    /// assert_eq!(rows, [("x", false)], "x exists only through t");
+    /// ```
     pub fn abort_eval<'s, S: UpdateStructure>(
         &mut self,
-        state: &'s Replayed,
+        state: &'s ReplayState,
         txn: &str,
         structure: &S,
         present: S::Value,
@@ -411,9 +919,21 @@ impl Engine {
     /// The deletion-propagation query: every tuple's value under
     /// `structure` when the base tuple `tuple` is deleted from the initial
     /// database (its atom maps to `0`) and everything else takes `present`.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_structures::Bool;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"base x\nbegin t\nmodify y <- x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// let rows = engine.delete_base_eval(&state, "x", &Bool, true).unwrap();
+    /// assert!(rows.iter().all(|(_, alive)| !alive), "y dies with x");
+    /// ```
     pub fn delete_base_eval<'s, S: UpdateStructure>(
         &mut self,
-        state: &'s Replayed,
+        state: &'s ReplayState,
         tuple: &str,
         structure: &S,
         present: S::Value,
@@ -433,35 +953,121 @@ impl Engine {
     /// [`uprov_core::nf`](mod@uprov_core::nf)). Both states must come from
     /// this engine, so the comparison happens inside one arena.
     ///
+    /// Two layers keep repeated queries O(delta): tuples whose roots are
+    /// *identical* ids are proven equivalent by hash-consing alone, and the
+    /// rest normalize through the incremental NF cache, so only provenance
+    /// the cache has never certified does any rewriting.
+    ///
     /// Normalizer saturation is surfaced per tuple in
     /// [`Equivalence::undecided`] instead of being folded into a false
     /// "inequivalent".
-    pub fn equivalent(&mut self, a: &Replayed, b: &Replayed) -> Equivalence {
-        let mut verdict = Equivalence {
-            differing: Vec::new(),
-            undecided: Vec::new(),
-        };
-        // One batched normalization over both states' tuples: sub-DAGs
-        // shared across tuples (and across the two logs) normalize once
-        // per round instead of once per tuple.
+    ///
+    /// ```
+    /// use uprov_engine::{Engine, UpdateLog};
+    ///
+    /// // Two commuting inserts into one base tuple, in the two orders.
+    /// let fwd: UpdateLog = "base x\nbegin a\ninsert x\ncommit\nbegin b\ninsert x\ncommit\n"
+    ///     .parse().unwrap();
+    /// let rev: UpdateLog = "base x\nbegin b\ninsert x\ncommit\nbegin a\ninsert x\ncommit\n"
+    ///     .parse().unwrap();
+    /// let mut engine = Engine::new();
+    /// let s1 = engine.replay(&fwd).unwrap();
+    /// let s2 = engine.replay(&rev).unwrap();
+    /// assert!(engine.equivalent(&s1, &s2).is_equivalent());
+    /// ```
+    pub fn equivalent(&mut self, a: &ReplayState, b: &ReplayState) -> Equivalence {
+        // Identical ids are already proven equivalent (hash-consing), so
+        // only genuinely differing pairs enter the batch — one linear
+        // merge-join over the two sorted tuple maps, so comparing a state
+        // against an appended successor costs O(#tuples) comparisons plus
+        // normalization of the delta only. A tuple present on one side
+        // only still matches if its provenance is `0` (absent is `0`).
+        let mut names: Vec<&String> = Vec::new();
+        let mut ia = a.tuples.iter().peekable();
+        let mut ib = b.tuples.iter().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(&(ka, &va)), Some(&(kb, &vb))) => match ka.cmp(kb) {
+                    std::cmp::Ordering::Equal => {
+                        if va != vb {
+                            names.push(ka);
+                        }
+                        ia.next();
+                        ib.next();
+                    }
+                    std::cmp::Ordering::Less => {
+                        if va != ExprArena::ZERO {
+                            names.push(ka);
+                        }
+                        ia.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if vb != ExprArena::ZERO {
+                            names.push(kb);
+                        }
+                        ib.next();
+                    }
+                },
+                (Some(&(ka, &va)), None) => {
+                    if va != ExprArena::ZERO {
+                        names.push(ka);
+                    }
+                    ia.next();
+                }
+                (None, Some(&(kb, &vb))) => {
+                    if vb != ExprArena::ZERO {
+                        names.push(kb);
+                    }
+                    ib.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.decide_equivalence(&names, a, b, true)
+    }
+
+    /// [`Engine::equivalent`] bypassing both fast paths: every tuple of
+    /// both states is normalized from scratch — no identical-id
+    /// short-circuit, no normal-form cache. This is the "re-normalize the
+    /// whole database" baseline the incremental path is validated and
+    /// benchmarked against; production callers want [`Engine::equivalent`].
+    pub fn equivalent_uncached(&mut self, a: &ReplayState, b: &ReplayState) -> Equivalence {
         let names: Vec<&String> = a
             .tuples
             .keys()
             .chain(b.tuples.keys().filter(|k| !a.tuples.contains_key(*k)))
             .collect();
-        // Identical ids are already proven equivalent (hash-consing), so
-        // only genuinely differing pairs enter the batch — two replays of
-        // one log compare in O(#tuples) without normalizing anything.
-        let names: Vec<&String> = names
-            .into_iter()
-            .filter(|n| a.provenance(n) != b.provenance(n))
-            .collect();
+        self.decide_equivalence(&names, a, b, false)
+    }
+
+    /// Normalizes each named tuple's two roots (one batched call — shared
+    /// sub-DAGs normalize once) and assembles the per-tuple verdict.
+    fn decide_equivalence(
+        &mut self,
+        names: &[&String],
+        a: &ReplayState,
+        b: &ReplayState,
+        cached: bool,
+    ) -> Equivalence {
+        let mut verdict = Equivalence {
+            differing: Vec::new(),
+            undecided: Vec::new(),
+        };
         let mut roots = Vec::with_capacity(names.len() * 2);
-        for name in &names {
+        for name in names {
             roots.push(a.provenance(name));
             roots.push(b.provenance(name));
         }
-        let outcomes = nf_roots_in(&mut self.arena, &roots, &mut self.nf_memo);
+        let outcomes = if cached {
+            nf_roots_incremental_in(
+                &mut self.arena,
+                &roots,
+                &mut self.nf_cache,
+                &mut self.nf_memo,
+            )
+        } else {
+            nf_roots_in(&mut self.arena, &roots, &mut self.nf_memo)
+        };
         for (name, pair) in names.iter().zip(outcomes.chunks_exact(2)) {
             let (na, nb) = (&pair[0], &pair[1]);
             if na.id == nb.id {

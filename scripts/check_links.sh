@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Markdown link check for the curated documentation — README.md, ROADMAP.md
+# and docs/: every relative inline link target must exist on disk. (The
+# generated reference dumps PAPER.md/PAPERS.md/SNIPPETS.md are excluded:
+# they carry links from their upstream extraction, not ours.) The build
+# environment is offline, so http(s)/mailto links are skipped, as are
+# pure-fragment (#...) anchors. Run from anywhere; exits non-zero after
+# listing every broken target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
+  [ -f "$f" ] || continue
+  # Inline links only: [text](target). Rustdoc-style [`Item`] brackets
+  # (used heavily in docs/PAPER_MAP.md) have no (...) and are ignored.
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http://* | https://* | mailto:*) continue ;;
+      '#'*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    dir=$(dirname "$f")
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $f -> $link"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "markdown links OK"
