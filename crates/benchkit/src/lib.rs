@@ -41,7 +41,18 @@ pub struct Comparison {
     /// Comparison name, e.g. `arena_vs_legacy/eval/pingpong500`.
     pub name: String,
     /// `slow.median_ns / fast.median_ns` — how many times faster.
+    /// Effectively-zero medians are clamped to 1 ns first (see
+    /// [`Comparison::clamped`]), so the ratio is always finite.
     pub speedup: f64,
+    /// True if either median was effectively zero (below
+    /// [`ZERO_MEDIAN_CLAMP_NS`]) and got clamped to 1 ns before the
+    /// division. An effectively-zero median means the bench measured
+    /// nothing (the timed body rounded to no elapsed time at all), so the
+    /// ratio is a floor artifact, not a measurement — guards still apply,
+    /// but read the underlying medians before trusting the number.
+    /// Genuine sub-nanosecond medians (real elapsed time over a calibrated
+    /// multi-million-iteration sample) are NOT clamped.
+    pub clamped: bool,
 }
 
 /// Collects benchmark results and comparisons for one suite.
@@ -55,6 +66,14 @@ pub struct Harness {
 const TARGET_SAMPLE_NS: u128 = 5_000_000;
 const WARMUP_SAMPLES: u32 = 2;
 const MEASURED_SAMPLES: u32 = 12;
+
+/// Medians below this are treated as "measured nothing" by
+/// [`Harness::compare`] and clamped to 1 ns. The calibrated protocol caps
+/// iterations at 10 M per ≥1 ms sample, so any *real* measurement is
+/// ≥ 1e5 femtoseconds/iter — orders of magnitude above this threshold —
+/// while a zero-elapsed sample divides out to exactly 0.0. Genuine
+/// sub-nanosecond medians are therefore never distorted.
+pub const ZERO_MEDIAN_CLAMP_NS: f64 = 1e-3;
 
 /// Smoke mode (`BENCHKIT_SMOKE=1`): one short sample per bench, no warmup —
 /// an "it runs" signal for CI, where timing numbers on shared runners are
@@ -158,20 +177,37 @@ impl Harness {
 
     /// Records (and prints) how many times faster `fast` is than `slow`,
     /// by median. Panics if either name is unknown.
+    ///
+    /// Effectively-zero medians (below [`ZERO_MEDIAN_CLAMP_NS`] — a timed
+    /// body whose samples rounded to no elapsed time at all) are clamped
+    /// to 1 ns before dividing: they would otherwise yield an `inf`/NaN
+    /// ratio and a nonsense guard verdict. Genuine sub-nanosecond medians
+    /// are left untouched, so real ratios between tiny benches stay
+    /// correct. The clamp is recorded on the [`Comparison`] (and in the
+    /// JSON report) so a clamped ratio is never mistaken for a measured
+    /// one.
     pub fn compare(&mut self, name: &str, slow: &str, fast: &str) -> f64 {
-        let slow_ns = self
+        let slow_raw = self
             .result(slow)
             .unwrap_or_else(|| panic!("no bench {slow}"))
             .median_ns;
-        let fast_ns = self
+        let fast_raw = self
             .result(fast)
             .unwrap_or_else(|| panic!("no bench {fast}"))
             .median_ns;
-        let speedup = slow_ns / fast_ns;
-        eprintln!("  {name:<40} speedup {speedup:>10.2}x  ({slow} -> {fast})");
+        let clamp = |ns: f64| if ns < ZERO_MEDIAN_CLAMP_NS { 1.0 } else { ns };
+        let clamped = slow_raw < ZERO_MEDIAN_CLAMP_NS || fast_raw < ZERO_MEDIAN_CLAMP_NS;
+        let speedup = clamp(slow_raw) / clamp(fast_raw);
+        let note = if clamped {
+            "  [median clamped to 1ns]"
+        } else {
+            ""
+        };
+        eprintln!("  {name:<40} speedup {speedup:>10.2}x  ({slow} -> {fast}){note}");
         self.comparisons.push(Comparison {
             name: name.to_owned(),
             speedup,
+            clamped,
         });
         speedup
     }
@@ -257,9 +293,10 @@ impl Harness {
         s.push_str("  \"comparisons\": [\n");
         for (i, c) in self.comparisons.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"speedup\": {:.2}}}{}\n",
+                "    {{\"name\": \"{}\", \"speedup\": {:.2}, \"clamped\": {}}}{}\n",
                 escape(&c.name),
                 c.speedup,
+                c.clamped,
                 if i + 1 < self.comparisons.len() {
                     ","
                 } else {
@@ -390,6 +427,60 @@ mod tests {
         h.guard_speedup("speedup/bad", "scratch", "incremental", 20.0);
         assert_eq!(h.violations().len(), 1);
         assert!(h.violations()[0].contains("below the 20.00x floor"));
+    }
+
+    #[test]
+    fn zero_median_is_clamped_to_a_finite_guardable_ratio() {
+        // Regression: a sub-nanosecond fast median (tiny cached bench body
+        // rounded to 0 ns) used to yield an `inf` speedup — every floor
+        // guard vacuously passed and every ceiling guard vacuously failed.
+        let mut h = Harness::new("selftest");
+        for (name, ns) in [("slow", 100.0), ("fast0", 0.0), ("slow0", 0.0)] {
+            h.results.push(BenchResult {
+                name: name.into(),
+                iters_per_sample: 1,
+                samples: 1,
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+            });
+        }
+        let s = h.compare("clamped/slow_vs_fast0", "slow", "fast0");
+        assert!(s.is_finite(), "clamped ratio must be finite, got {s}");
+        assert!((s - 100.0).abs() < 1e-9, "100ns / clamp(0 -> 1ns) = 100x");
+        let both = h.compare("clamped/both_zero", "slow0", "fast0");
+        assert!((both - 1.0).abs() < 1e-9, "0/0 clamps to 1x, not NaN");
+        assert!(h.comparisons.iter().all(|c| c.clamped));
+        // Genuine sub-nanosecond medians (real measurements from huge
+        // calibrated iteration counts) are NOT flattened: the ratio stays
+        // exact and unclamped.
+        for (name, ns) in [("subns_slow", 0.8), ("subns_fast", 0.2)] {
+            h.results.push(BenchResult {
+                name: name.into(),
+                iters_per_sample: 10_000_000,
+                samples: 12,
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+            });
+        }
+        let real = h.compare("subns/real_ratio", "subns_slow", "subns_fast");
+        assert!((real - 4.0).abs() < 1e-9, "sub-ns ratio must stay 4x");
+        assert!(!h.comparisons.last().expect("pushed").clamped);
+        // The clamp is recorded in the machine-readable report.
+        let json = h.to_json();
+        assert!(json.contains("\"clamped\": true"));
+        // An honest comparison stays unclamped in the report.
+        let honest = h.compare("honest", "slow", "slow");
+        assert!((honest - 1.0).abs() < 1e-9);
+        assert!(!h.comparisons.last().expect("pushed").clamped);
+        assert!(h.to_json().contains("\"clamped\": false"));
+        // Guards over clamped ratios reach sane verdicts instead of the
+        // inf/NaN ones: 100x passes a 2x floor, 1x fails it.
+        h.guard_speedup("guard/ok", "slow", "fast0", 2.0);
+        assert!(h.violations().is_empty());
+        h.guard_speedup("guard/bad", "slow0", "fast0", 2.0);
+        assert_eq!(h.violations().len(), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod atom;
 pub mod axioms;
 pub mod expr;
 pub mod nf;
+pub mod parallel;
 pub mod rewrite;
 pub mod structure;
 
@@ -48,8 +49,9 @@ pub use expr::{Expr, ExprRef};
 pub use nf::{
     equiv, equiv_in, nf, nf_budget_in, nf_in, nf_roots_budget_in, nf_roots_in,
     nf_roots_incremental_budget_in, nf_roots_incremental_in, try_equiv_budget_in, try_equiv_in,
-    NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
+    EpochMap, NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
 };
+pub use parallel::{par_eval_many_in, par_eval_roots_in, resolve_threads, MemoPool};
 pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{
     eval, eval_arena, eval_arena_in, eval_many, eval_many_in, eval_roots_in, map_valuation,

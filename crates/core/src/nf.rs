@@ -265,9 +265,168 @@ pub fn nf_roots_budget_in(
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct NfCache {
-    map: HashMap<NodeId, NodeId>,
+    map: EpochMap<NodeId>,
     hits: u64,
     misses: u64,
+}
+
+/// A hash map whose entries are tagged with the **epoch** they were
+/// inserted in — the shared machinery behind the engine-level cache-budget
+/// valve (used by [`NfCache`] and by the engine's substitution cache, so
+/// the eviction policy exists exactly once).
+///
+/// Epochs partition entries by age: callers [`advance_epoch`](EpochMap::advance_epoch)
+/// once per batch of related work (the engine advances at every
+/// certify/query safe point), and [`evict_oldest_epoch`](EpochMap::evict_oldest_epoch)
+/// drops whole age bands, oldest first, never touching the current epoch.
+/// Epochs are `u64`: one advance per safe point can never realistically
+/// exhaust them, so age ordering never degrades for the lifetime of any
+/// deployment.
+///
+/// Eviction is **amortized O(1) per insert**, not O(map): each insert also
+/// appends its key to the insertion epoch's *band* (a `BTreeMap<epoch,
+/// Vec<K>>`), and eviction walks the oldest band's keys directly —
+/// removing only those still tagged with that epoch (a key re-inserted
+/// later leaves a stale band entry behind, skipped when its band drains).
+/// A full-map scan per evicted band would otherwise put O(budget) work on
+/// every over-budget query at steady state.
+#[derive(Debug, Clone)]
+pub struct EpochMap<K, V = NodeId> {
+    map: HashMap<K, (V, u64)>,
+    bands: std::collections::BTreeMap<u64, Vec<K>>,
+    // Band entries whose key has since moved to a newer epoch (or was
+    // re-certified): they no longer correspond to a live (key, epoch)
+    // pair. Once they outnumber live entries the bands are rebuilt from
+    // the map, so band memory stays O(live entries) even for engines that
+    // never evict (no cache budget set) — without the counter, every
+    // re-insert would leave a permanent stale copy behind.
+    stale_band_entries: usize,
+    epoch: u64,
+}
+
+impl<K, V> Default for EpochMap<K, V> {
+    fn default() -> Self {
+        EpochMap {
+            map: HashMap::new(),
+            bands: std::collections::BTreeMap::new(),
+            stale_band_entries: 0,
+            epoch: 0,
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> EpochMap<K, V> {
+    /// An empty map at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value recorded for `key`, if any.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// True if `key` has a recorded value.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Records `value` for `key`, tagged with the current epoch. A
+    /// re-inserted key moves to the current epoch (its old band entry
+    /// becomes a stale no-op, compacted away once stale entries outgrow
+    /// the live ones).
+    pub fn insert(&mut self, key: K, value: V) {
+        match self.map.insert(key.clone(), (value, self.epoch)) {
+            // Same-epoch re-insert: this key's band entry already exists.
+            Some((_, old)) if old == self.epoch => return,
+            // Cross-epoch move: the old band entry just went stale.
+            Some(_) => self.stale_band_entries += 1,
+            None => {}
+        }
+        self.bands.entry(self.epoch).or_default().push(key);
+        if self.stale_band_entries > self.map.len() {
+            self.compact_bands();
+        }
+    }
+
+    /// Rebuilds the bands from the live map, dropping every stale entry.
+    /// O(live entries); triggered at most once per O(live) stale inserts,
+    /// so amortized O(1).
+    fn compact_bands(&mut self) {
+        self.bands.clear();
+        for (k, &(_, e)) in &self.map {
+            self.bands.entry(e).or_default().push(k.clone());
+        }
+        self.stale_band_entries = 0;
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entry is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (the epoch counter keeps running).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bands.clear();
+        self.stale_band_entries = 0;
+    }
+
+    /// The current insertion epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Starts a new insertion epoch. Purely bookkeeping — entries stay
+    /// valid regardless of epoch.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Drops every entry inserted during the **oldest** epoch still present
+    /// that is older than the current one, returning how many were removed
+    /// (0 when every entry is current — the valve never silently empties
+    /// the working set of the query that is being finalized). Dropping an
+    /// entry is only ever a recompute cost for pure-fact caches.
+    ///
+    /// Cost: O(keys of the drained bands), amortized O(1) per insert —
+    /// every band entry is processed at most once over the map's lifetime.
+    pub fn evict_oldest_epoch(&mut self) -> usize {
+        while let Some((&band_epoch, _)) = self.bands.first_key_value() {
+            if band_epoch >= self.epoch {
+                return 0; // only current-epoch entries remain
+            }
+            let keys = self
+                .bands
+                .remove(&band_epoch)
+                .expect("first_key_value just saw it");
+            let before = self.map.len();
+            for k in keys {
+                // Only remove keys still tagged with this band's epoch; a
+                // key re-inserted in a later epoch is a stale band entry
+                // (now drained, so it stops counting toward compaction).
+                if self.map.get(&k).is_some_and(|&(_, e)| e == band_epoch) {
+                    self.map.remove(&k);
+                } else {
+                    self.stale_band_entries = self.stale_band_entries.saturating_sub(1);
+                }
+            }
+            let dropped = before - self.map.len();
+            if dropped > 0 {
+                return dropped;
+            }
+            // Every key of this band was re-inserted later: the band was
+            // all-stale; keep draining toward the next oldest.
+        }
+        0
+    }
 }
 
 impl NfCache {
@@ -285,11 +444,13 @@ impl NfCache {
     /// True if `id` has a certified normal form recorded.
     #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.map.contains_key(&id)
+        self.map.contains(&id)
     }
 
     /// Records `nf` as the certified normal form of `root` (and of itself:
-    /// normal forms are fixpoints, so `nf ↦ nf` is recorded too).
+    /// normal forms are fixpoints, so `nf ↦ nf` is recorded too). Entries
+    /// are tagged with the current [`epoch`](NfCache::epoch) for the
+    /// eviction valve.
     ///
     /// Contract: `nf` must be the true, certified (non-saturated) normal
     /// form of `root` in the arena this cache is used with. Violating it
@@ -297,6 +458,24 @@ impl NfCache {
     pub fn insert_certified(&mut self, root: NodeId, nf: NodeId) {
         self.map.insert(root, nf);
         self.map.insert(nf, nf);
+    }
+
+    /// The current insertion epoch (see [`EpochMap::advance_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    /// Starts a new insertion epoch (see [`EpochMap::advance_epoch`]; the
+    /// engine advances once per certify/query safe point).
+    pub fn advance_epoch(&mut self) {
+        self.map.advance_epoch();
+    }
+
+    /// Drops the oldest non-current epoch's entries — see
+    /// [`EpochMap::evict_oldest_epoch`]. Always safe: a dropped fact is
+    /// simply recomputed on next use.
+    pub fn evict_oldest_epoch(&mut self) -> usize {
+        self.map.evict_oldest_epoch()
     }
 
     /// Number of recorded entries (including the `nf ↦ nf` fixpoints).
@@ -984,6 +1163,67 @@ mod tests {
         let out = nf_roots_incremental_in(&mut ar, &[e], &mut cache, &mut memo);
         assert!(out[0].is_normal());
         assert!(cache.contains(e));
+    }
+
+    #[test]
+    fn nf_cache_epochs_partition_and_evict_oldest() {
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let b = ar.atom(t.fresh_tuple());
+        let c = ar.atom(t.fresh_tuple());
+        let mut cache = NfCache::new();
+        assert_eq!(cache.epoch(), 0);
+        cache.insert_certified(a, a);
+        cache.advance_epoch();
+        cache.insert_certified(b, b);
+        cache.advance_epoch();
+        cache.insert_certified(c, c);
+        assert_eq!(cache.len(), 3);
+        // Oldest epoch (a's) goes first; the current epoch (c's) is
+        // protected even when everything older is gone.
+        assert_eq!(cache.evict_oldest_epoch(), 1);
+        assert!(!cache.contains(a) && cache.contains(b) && cache.contains(c));
+        assert_eq!(cache.evict_oldest_epoch(), 1);
+        assert!(!cache.contains(b) && cache.contains(c));
+        assert_eq!(cache.evict_oldest_epoch(), 0, "current epoch is kept");
+        assert_eq!(cache.lookup(c), Some(c));
+        // Dropped entries are recomputed, not wrong: re-certifying after
+        // eviction restores the exact entry.
+        let mut memo = NfMemo::new();
+        let out = nf_roots_incremental_in(&mut ar, &[a], &mut cache, &mut memo);
+        assert_eq!(out[0].id, a);
+        assert!(cache.contains(a));
+    }
+
+    #[test]
+    fn epoch_map_reinserted_keys_survive_their_old_band() {
+        // A key inserted in epoch 0 and re-inserted in epoch 2 must NOT be
+        // dropped when epoch 0's band drains (the stale-band-entry path),
+        // and an all-stale band must not terminate eviction early.
+        let mut m: EpochMap<u32, u32> = EpochMap::new();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.advance_epoch();
+        m.insert(3, 30);
+        m.advance_epoch();
+        m.insert(1, 11); // re-insert: moves key 1 to epoch 2
+        m.advance_epoch();
+        assert_eq!(m.len(), 3);
+        // Band 0 holds {1, 2}; only 2 still carries epoch 0.
+        assert_eq!(m.evict_oldest_epoch(), 1);
+        assert_eq!(m.get(&1), Some(&11), "re-inserted key survives");
+        assert!(!m.contains(&2));
+        assert_eq!(m.evict_oldest_epoch(), 1, "band 1 drops key 3");
+        assert_eq!(m.evict_oldest_epoch(), 1, "band 2 drops key 1");
+        assert_eq!(m.evict_oldest_epoch(), 0, "empty");
+        // All-stale band: key 4 inserted then immediately re-inserted next
+        // epoch — draining must skip the stale band and drop the live one.
+        m.insert(4, 40);
+        m.advance_epoch();
+        m.insert(4, 41);
+        m.advance_epoch();
+        assert_eq!(m.evict_oldest_epoch(), 1, "skips the all-stale band");
+        assert!(m.is_empty());
     }
 
     #[test]

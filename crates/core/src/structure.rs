@@ -40,9 +40,16 @@ use crate::expr::{Expr, ExprRef};
 /// [`crate::axioms::check_axioms`]); under that condition, evaluation of
 /// provenance is invariant under transaction rewriting (Propositions 3.5 and
 /// 4.2).
-pub trait UpdateStructure {
+///
+/// The trait is `Sync` and its carrier `Send + Sync` so that sharing a
+/// structure and a valuation across the scoped worker threads of
+/// [`crate::parallel`](mod@crate::parallel) is compiler-checked rather than
+/// per-call-site `unsafe`. Structures are plain operation tables (usually
+/// zero-sized) and carriers are plain values, so the bounds cost nothing in
+/// practice.
+pub trait UpdateStructure: Sync {
     /// The carrier set `K`.
-    type Value: Clone + PartialEq + Debug;
+    type Value: Clone + PartialEq + Debug + Send + Sync;
 
     /// The distinguished `0 ∈ K` (absent tuple / update that did not occur).
     fn zero(&self) -> Self::Value;
@@ -260,7 +267,7 @@ pub fn eval_arena_in<S: UpdateStructure>(
 /// `Vec<Option<V>>` (single use, zero per-access bookkeeping) or the
 /// pooled, generation-stamped [`DenseMemo`]. Callers prepare the storage
 /// (sized/reset for `root`) before the shared worklist loop runs.
-trait EvalMemo<T> {
+pub(crate) trait EvalMemo<T> {
     fn get(&self, id: NodeId) -> Option<&T>;
     fn contains(&self, id: NodeId) -> bool;
     fn set(&mut self, id: NodeId, value: T);
@@ -318,8 +325,9 @@ fn eval_arena_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
 
 /// Ensures `memo` holds a value for `root` (and hence its whole sub-DAG):
 /// the shared iterative worklist loop behind [`eval_arena`],
-/// [`eval_arena_in`] and [`eval_roots_in`].
-fn eval_fill<S: UpdateStructure, M: EvalMemo<S::Value>>(
+/// [`eval_arena_in`], [`eval_roots_in`] and the root-sharded workers of
+/// [`crate::parallel::par_eval_roots_in`].
+pub(crate) fn eval_fill<S: UpdateStructure, M: EvalMemo<S::Value>>(
     arena: &ExprArena,
     root: NodeId,
     s: &S,
@@ -459,26 +467,42 @@ fn eval_many_impl<S: UpdateStructure, M: EvalMemo<S::Value>>(
     memo: &mut M,
 ) -> Vec<S::Value> {
     let order = arena.topo_order(root);
-    let mut out = Vec::with_capacity(valuations.len());
-    for val in valuations {
-        for &id in &order {
-            let v = match arena.node(id) {
-                Node::Zero => s.zero(),
-                Node::Atom(a) => val.get(*a).clone(),
-                Node::Bin(op, a, b) => {
-                    let (va, vb) = (
-                        memo.get(*a).expect("topological order"),
-                        memo.get(*b).expect("topological order"),
-                    );
-                    s.apply_bin(*op, va, vb)
-                }
-                Node::Sum(ts) => s.sum(ts.iter().map(|t| memo.get(*t).expect("topological order"))),
-            };
-            memo.set(id, v);
-        }
-        out.push(memo.get(root).cloned().expect("root computed"));
+    valuations
+        .iter()
+        .map(|val| eval_one_ordered(arena, &order, root, s, val, memo))
+        .collect()
+}
+
+/// Replays the shared dense evaluation schedule for one valuation: the tight
+/// per-valuation loop of [`eval_many`], factored out so the
+/// valuation-sharded workers of [`crate::parallel::par_eval_many_in`] can
+/// reuse one precomputed `order` across threads. Every node in `order` is
+/// overwritten before it is read (children precede parents), so no reset is
+/// needed between valuations.
+pub(crate) fn eval_one_ordered<S: UpdateStructure, M: EvalMemo<S::Value>>(
+    arena: &ExprArena,
+    order: &[NodeId],
+    root: NodeId,
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut M,
+) -> S::Value {
+    for &id in order {
+        let v = match arena.node(id) {
+            Node::Zero => s.zero(),
+            Node::Atom(a) => val.get(*a).clone(),
+            Node::Bin(op, a, b) => {
+                let (va, vb) = (
+                    memo.get(*a).expect("topological order"),
+                    memo.get(*b).expect("topological order"),
+                );
+                s.apply_bin(*op, va, vb)
+            }
+            Node::Sum(ts) => s.sum(ts.iter().map(|t| memo.get(*t).expect("topological order"))),
+        };
+        memo.set(id, v);
     }
-    out
+    memo.get(root).cloned().expect("root computed")
 }
 
 /// A homomorphism between two Update-Structures (Definition 4.1): a value

@@ -1,0 +1,34 @@
+//! The `UPROV_THREADS` environment default of `resolve_threads`.
+//!
+//! Deliberately an integration binary with exactly ONE test: each
+//! integration test file runs as its own process, so this is the only
+//! place in the suite that may call `std::env::set_var` — in the unit-test
+//! binary (which runs tests on parallel threads) a setenv would race other
+//! tests' getenv calls, which is undefined behavior on glibc. Keep any
+//! future env-var tests in this file, and keep it single-test.
+
+use uprov_core::resolve_threads;
+
+#[test]
+fn uprov_threads_env_default_is_parsed_and_clamped() {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // No explicit count, no env: available parallelism.
+    std::env::remove_var("UPROV_THREADS");
+    assert_eq!(resolve_threads(0), available);
+    // Env set: parsed, clamped to available parallelism.
+    std::env::set_var("UPROV_THREADS", "2");
+    assert_eq!(resolve_threads(0), 2usize.min(available));
+    std::env::set_var("UPROV_THREADS", "1000000");
+    assert_eq!(resolve_threads(0), available, "clamped to available");
+    // Zero or garbage falls back to auto.
+    std::env::set_var("UPROV_THREADS", "0");
+    assert_eq!(resolve_threads(0), available);
+    std::env::set_var("UPROV_THREADS", "not-a-number");
+    assert_eq!(resolve_threads(0), available);
+    // An explicit count always wins over the env.
+    std::env::set_var("UPROV_THREADS", "2");
+    assert_eq!(resolve_threads(7), 7);
+    std::env::remove_var("UPROV_THREADS");
+}

@@ -296,6 +296,33 @@ fn prop_arena_stats_agree_with_legacy_stats() {
 }
 
 #[test]
+fn prop_nf_never_maps_a_nonzero_id_to_zero() {
+    // The soundness fact behind the engine's merge-join fast path for
+    // one-sided tuples: every rewrite rule rebuilds through the smart
+    // constructors from non-zero operands (and `0` is never an operand of
+    // an interned node), so `nf(e) == ZERO ⇔ e == ZERO`. If a rule ever
+    // starts producing `0` from non-zero input, skipping raw-zero one-sided
+    // tuples would no longer be the *only* zero case and the engine's fast
+    // path would need revisiting — this property is its tripwire.
+    let mut memo = NfMemo::new();
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed * 87_178_291_199 + 37);
+        let mut table = AtomTable::new();
+        let (e, _) = random_expr(&mut rng, &mut table, 50);
+        let mut ar = ExprArena::new();
+        let id = ar.import(&e);
+        let out = nf_in(&mut ar, id, &mut memo);
+        assert!(out.is_normal(), "seed {seed}: nf saturated");
+        assert_eq!(
+            id == ExprArena::ZERO,
+            out.id == ExprArena::ZERO,
+            "seed {seed}: nf changed zero-ness ({id:?} -> {:?})",
+            out.id
+        );
+    }
+}
+
+#[test]
 fn prop_nf_result_is_a_full_reduce_fixpoint() {
     // Block-once canonicalization skips interior spine nodes during the
     // rounds; the certificate that nothing was missed is that a plain

@@ -79,6 +79,44 @@
 //! assert!(engine.nf_cache().misses() - misses_before <= 1);
 //! ```
 //!
+//! # Parallel evaluation
+//!
+//! Concrete evaluation never touches the engine's caches — it is a pure
+//! fold over the read-only arena per tuple — so the engine shards it
+//! across worker threads: [`Engine::eval_tuples_par`],
+//! [`Engine::abort_eval_par`] and [`Engine::delete_base_eval_par`] chunk
+//! the tuple roots over [`uprov_core::par_eval_roots_in`], one pooled
+//! memo per worker, bit-identical to the serial paths. The thread knob is
+//! explicit, with `0` meaning auto (`UPROV_THREADS`, clamped to available
+//! parallelism). This is the README "Parallel evaluation" example:
+//!
+//! ```
+//! use uprov_engine::{Engine, UpdateLog};
+//! use uprov_structures::Bool;
+//!
+//! let mut engine = Engine::new();
+//! let log: UpdateLog = "\
+//!     base x
+//!     begin t1
+//!     insert y
+//!     modify z <- x y
+//!     commit
+//! ".parse().unwrap();
+//! let state = engine.replay(&log).unwrap();
+//!
+//! // Whole-database concrete abort query over tuple shards: 4 worker
+//! // threads (0 = auto via UPROV_THREADS / available parallelism), each
+//! // evaluating its chunk of tuples against the shared read-only arena.
+//! let par = engine.abort_eval_par(&state, "t1", &Bool, true, 4).unwrap();
+//!
+//! // Bit-identical to the serial path — sharding never changes answers.
+//! assert_eq!(par, engine.abort_eval(&state, "t1", &Bool, true).unwrap());
+//!
+//! // Long-lived engines can also cap the symbolic-query caches: an
+//! // epoch-based valve drops oldest-epoch entries at query boundaries.
+//! engine.set_cache_budget(Some(100_000));
+//! ```
+//!
 //! ```
 //! use uprov_engine::{Engine, UpdateLog};
 //! use uprov_structures::Bool;
@@ -114,8 +152,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use uprov_core::{
-    eval_roots_in, nf_roots_in, nf_roots_incremental_in, Atom, AtomKind, AtomTable, DenseMemo,
-    ExprArena, NfCache, NfMemo, NodeId, UpdateStructure, Valuation,
+    eval_roots_in, nf_roots_in, nf_roots_incremental_in, par_eval_roots_in, resolve_threads, Atom,
+    AtomKind, AtomTable, DenseMemo, EpochMap, ExprArena, MemoPool, NfCache, NfMemo, NodeId,
+    UpdateStructure, Valuation,
 };
 
 pub use crate::log::{Op, ParseError, Txn, UpdateLog};
@@ -393,8 +432,14 @@ pub struct Engine {
     // Persistent `(zeroed atom, root) ↦ substituted root` map: like normal
     // forms, substitution images are pure functions of the id in an
     // append-only arena, so repeated symbolic queries skip the O(union DAG)
-    // substitution sweep for every root the cache has seen.
-    subst_cache: HashMap<(Atom, NodeId), NodeId>,
+    // substitution sweep for every root the cache has seen. An `EpochMap`
+    // so the cache-budget valve evicts it with the same age-band policy as
+    // the `NfCache`.
+    subst_cache: EpochMap<(Atom, NodeId)>,
+    // When set, the combined entry count of `nf_cache` + `subst_cache` is
+    // pulled back under this budget at every safe point (end of
+    // certify/query) by dropping oldest-epoch entries first.
+    cache_budget: Option<usize>,
 }
 
 impl Engine {
@@ -429,12 +474,73 @@ impl Engine {
     }
 
     /// Drops every cached normal form **and** substitution image — the
-    /// memory valve for long-lived engines (never needed for correctness:
-    /// both caches hold pure facts about ids). Per-state certified maps
-    /// ([`ReplayState::certified_nf`]) are unaffected and remain valid.
+    /// all-at-once memory valve for long-lived engines (never needed for
+    /// correctness: both caches hold pure facts about ids). Per-state
+    /// certified maps ([`ReplayState::certified_nf`]) are unaffected and
+    /// remain valid. For a valve that keeps the hot working set, prefer
+    /// [`Engine::set_cache_budget`].
     pub fn clear_nf_cache(&mut self) {
         self.nf_cache.clear();
         self.subst_cache.clear();
+    }
+
+    /// Caps the combined size of the normal-form and substitution caches:
+    /// whenever the entry count exceeds `entries` at a safe point (the end
+    /// of [`Engine::certify`] or of any cached query), **oldest-epoch**
+    /// entries are dropped until the budget holds again — every enforcement
+    /// point is one epoch, so eviction is by age band, FIFO-style, and the
+    /// entries the *current* query just produced are never dropped (the
+    /// budget may therefore briefly overshoot by one query's working set
+    /// when the budget is smaller than a single query needs).
+    ///
+    /// Eviction is always safe — both caches hold pure facts about arena
+    /// ids, and a dropped fact is recomputed on next use — so the only cost
+    /// of a tight budget is re-normalization work. `None` (the default)
+    /// disables the valve; setting a budget enforces it immediately.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.set_cache_budget(Some(10_000));
+    /// assert_eq!(engine.cache_budget(), Some(10_000));
+    /// ```
+    pub fn set_cache_budget(&mut self, entries: Option<usize>) {
+        self.cache_budget = entries;
+        self.enforce_cache_budget();
+    }
+
+    /// The configured cache budget (see [`Engine::set_cache_budget`]).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
+    }
+
+    /// Combined entry count of the normal-form and substitution caches —
+    /// the quantity [`Engine::set_cache_budget`] bounds.
+    pub fn cached_entries(&self) -> usize {
+        self.nf_cache.len() + self.subst_cache.len()
+    }
+
+    /// The safe-point hook: pulls the caches back under the budget (oldest
+    /// epochs first, across both caches) and opens a new epoch for whatever
+    /// the next query inserts. Called at the end of `certify` and of every
+    /// cached query path.
+    fn enforce_cache_budget(&mut self) {
+        if let Some(budget) = self.cache_budget {
+            while self.cached_entries() > budget {
+                let dropped =
+                    self.nf_cache.evict_oldest_epoch() + self.subst_cache.evict_oldest_epoch();
+                if dropped == 0 {
+                    // Only current-epoch entries remain: the budget is
+                    // smaller than this one query's working set. Keep them —
+                    // dropping the entries just inserted would make the
+                    // *next* identical query recompute everything.
+                    break;
+                }
+            }
+        }
+        self.nf_cache.advance_epoch();
+        self.subst_cache.advance_epoch();
     }
 
     /// Renders a provenance id in the paper's notation (via the legacy
@@ -680,6 +786,7 @@ impl Engine {
                 cert.certified += 1;
             }
         }
+        self.enforce_cache_budget();
         cert
     }
 
@@ -742,6 +849,9 @@ impl Engine {
         } else {
             nf_roots_in(&mut self.arena, &substituted, &mut self.nf_memo)
         };
+        if cached {
+            self.enforce_cache_budget();
+        }
         names
             .into_iter()
             .zip(outcomes)
@@ -887,6 +997,60 @@ impl Engine {
         names.into_iter().zip(values).collect()
     }
 
+    /// [`Engine::eval_tuples`] sharded across worker threads: the tuple
+    /// roots are chunked and evaluated by [`uprov_core::par_eval_roots_in`]
+    /// over the shared read-only arena, one pooled memo per worker. The
+    /// result is **bit-identical** to the serial path (values are pure
+    /// functions of the root, and shard results merge in tuple order).
+    ///
+    /// `threads == 0` means auto: the `UPROV_THREADS` environment variable
+    /// if set (clamped to available parallelism), otherwise available
+    /// parallelism itself — see [`uprov_core::resolve_threads`]. Takes
+    /// `&self`: concrete evaluation never touches the engine's caches,
+    /// which is exactly why it shards so cleanly.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_core::Valuation;
+    /// use uprov_structures::Bool;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"base x\nbegin t\ninsert y\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// let val = Valuation::constant(true);
+    /// let par = engine.eval_tuples_par(&state, &Bool, &val, 2);
+    /// assert_eq!(par, engine.eval_tuples(&state, &Bool, &val));
+    /// ```
+    pub fn eval_tuples_par<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        structure: &S,
+        valuation: &Valuation<S::Value>,
+        threads: usize,
+    ) -> Vec<(&'s str, S::Value)> {
+        let pool = MemoPool::new();
+        self.eval_tuples_par_in(state, structure, valuation, &pool, threads)
+    }
+
+    /// [`Engine::eval_tuples_par`] with a caller-provided [`MemoPool`], so
+    /// repeated parallel whole-database queries under one structure reuse
+    /// the per-worker memo buffers across calls.
+    pub fn eval_tuples_par_in<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        structure: &S,
+        valuation: &Valuation<S::Value>,
+        pool: &MemoPool<S::Value>,
+        threads: usize,
+    ) -> Vec<(&'s str, S::Value)> {
+        let threads = resolve_threads(threads);
+        let (names, roots): (Vec<&str>, Vec<NodeId>) =
+            state.tuples.iter().map(|(n, &id)| (n.as_str(), id)).unzip();
+        let values = par_eval_roots_in(&self.arena, &roots, structure, valuation, pool, threads);
+        names.into_iter().zip(values).collect()
+    }
+
     /// The concrete abort query: every tuple's value under `structure`
     /// when `txn` aborts (its atom maps to `0`) and everything else takes
     /// `present`.
@@ -914,6 +1078,37 @@ impl Engine {
         })?;
         let val = Valuation::constant(present).with(p, structure.zero());
         Ok(self.eval_tuples(state, structure, &val))
+    }
+
+    /// [`Engine::abort_eval`] over tuple shards: the concrete abort query
+    /// evaluated by [`Engine::eval_tuples_par`] with `threads` workers
+    /// (`0` = auto via `UPROV_THREADS` / available parallelism).
+    /// Bit-identical to the serial path.
+    ///
+    /// ```
+    /// use uprov_engine::Engine;
+    /// use uprov_structures::Bool;
+    ///
+    /// let mut engine = Engine::new();
+    /// let state = engine
+    ///     .replay(&"begin t\ninsert x\ncommit\n".parse().unwrap())
+    ///     .unwrap();
+    /// let rows = engine.abort_eval_par(&state, "t", &Bool, true, 2).unwrap();
+    /// assert_eq!(rows, engine.abort_eval(&state, "t", &Bool, true).unwrap());
+    /// ```
+    pub fn abort_eval_par<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        txn: &str,
+        structure: &S,
+        present: S::Value,
+        threads: usize,
+    ) -> Result<Vec<(&'s str, S::Value)>, QueryError> {
+        let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+            name: txn.to_owned(),
+        })?;
+        let val = Valuation::constant(present).with(p, structure.zero());
+        Ok(self.eval_tuples_par(state, structure, &val, threads))
     }
 
     /// The deletion-propagation query: every tuple's value under
@@ -945,6 +1140,27 @@ impl Engine {
             })?;
         let val = Valuation::constant(present).with(a, structure.zero());
         Ok(self.eval_tuples(state, structure, &val))
+    }
+
+    /// [`Engine::delete_base_eval`] over tuple shards: the concrete
+    /// deletion-propagation query evaluated by
+    /// [`Engine::eval_tuples_par`] with `threads` workers (`0` = auto).
+    /// Bit-identical to the serial path.
+    pub fn delete_base_eval_par<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        tuple: &str,
+        structure: &S,
+        present: S::Value,
+        threads: usize,
+    ) -> Result<Vec<(&'s str, S::Value)>, QueryError> {
+        let a = state
+            .base_atom(tuple)
+            .ok_or_else(|| QueryError::UnknownTuple {
+                name: tuple.to_owned(),
+            })?;
+        let val = Valuation::constant(present).with(a, structure.zero());
+        Ok(self.eval_tuples_par(state, structure, &val, threads))
     }
 
     /// Decides whether two replayed logs are equivalent: for every tuple
@@ -1078,6 +1294,9 @@ impl Engine {
             } else {
                 verdict.differing.push((*name).clone());
             }
+        }
+        if cached {
+            self.enforce_cache_budget();
         }
         verdict.differing.sort_unstable();
         verdict.undecided.sort_unstable();

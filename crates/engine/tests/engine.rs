@@ -272,6 +272,73 @@ fn axiom_7_equivalence_across_syntactically_different_logs() {
 }
 
 #[test]
+fn one_sided_tuples_agree_with_the_uncached_baseline() {
+    // Audit of `Engine::equivalent`'s merge-join fast path. A tuple present
+    // in only one state is skipped when its raw provenance id is `ZERO`
+    // (absent ≡ recorded-as-absent); any other one-sided tuple takes the
+    // slow path and is decided by normal forms against `ZERO`. These three
+    // regressions pin the fast path to the `equivalent_uncached` baseline
+    // so it can never silently diverge:
+    let mut engine = Engine::new();
+
+    // (a) one-sided raw-zero: `ghost` is deleted without ever existing, so
+    // its recorded provenance is the interned `0` itself (zero axiom at
+    // intern time) — the fast path skips it, and that is equivalent.
+    let with_ghost: UpdateLog = "base x\nbegin t\ninsert x\ndelete ghost\ncommit\n"
+        .parse()
+        .expect("valid");
+    let without: UpdateLog = "base x\nbegin t\ninsert x\ncommit\n"
+        .parse()
+        .expect("valid");
+    let s1 = engine.replay(&with_ghost).expect("replays");
+    let s2 = engine.replay(&without).expect("replays");
+    assert_eq!(s1.provenance("ghost"), ExprArena::ZERO, "raw zero recorded");
+    let cached = engine.equivalent(&s1, &s2);
+    let uncached = engine.equivalent_uncached(&s1, &s2);
+    assert!(cached.is_equivalent(), "raw-zero one-sided tuple is absent");
+    assert_eq!(cached, uncached, "fast path diverged from baseline");
+
+    // (b) one-sided insert-then-delete: prov(y) = t − t, which is NOT raw
+    // zero and — deliberately — not identified with 0 by Figure 3 either
+    // (no axiom forces a − a = 0; e.g. a structure may remember tombstones).
+    // The slow path must report it as a witness, and the cached and
+    // uncached verdicts must match exactly. The core property test
+    // `prop_nf_never_maps_a_nonzero_id_to_zero` is the system-wide tripwire
+    // that raw-zero really is the *only* normalizes-to-zero case, which is
+    // what makes skipping raw zeros (and only them) sound.
+    let ins_del: UpdateLog = "base x\nbegin t\ninsert x\ninsert y\ndelete y\ncommit\n"
+        .parse()
+        .expect("valid");
+    let s3 = engine.replay(&ins_del).expect("replays");
+    assert_eq!(engine.render(s3.provenance("y")), "t - t");
+    let cached = engine.equivalent(&s3, &s2);
+    let uncached = engine.equivalent_uncached(&s3, &s2);
+    assert_eq!(cached, uncached, "fast path diverged from baseline");
+    assert_eq!(cached.differing, ["y"], "t − t is a witness, not absent");
+
+    // (c) one-sided genuinely differing: a live insert on one side only.
+    let extra: UpdateLog = "base x\nbegin t\ninsert x\ninsert z\ncommit\n"
+        .parse()
+        .expect("valid");
+    let s4 = engine.replay(&extra).expect("replays");
+    let cached = engine.equivalent(&s4, &s2);
+    let uncached = engine.equivalent_uncached(&s4, &s2);
+    assert_eq!(cached, uncached, "fast path diverged from baseline");
+    assert_eq!(cached.differing, ["z"]);
+
+    // Symmetry: the one-sided tuple may sit on either side of the join.
+    for (a, b) in [(&s1, &s2), (&s3, &s2), (&s4, &s2)] {
+        let fwd = engine.equivalent(a, b);
+        let rev = engine.equivalent(b, a);
+        assert_eq!(fwd.differing, rev.differing, "merge-join is symmetric");
+        let fwd_unc = engine.equivalent_uncached(a, b);
+        let rev_unc = engine.equivalent_uncached(b, a);
+        assert_eq!(fwd.differing, fwd_unc.differing);
+        assert_eq!(rev.differing, rev_unc.differing);
+    }
+}
+
+#[test]
 fn name_kind_clash_is_rejected() {
     let log: UpdateLog = "base t\nbegin t\ninsert y\ncommit\n"
         .parse()

@@ -1,0 +1,174 @@
+//! Bit-identity tests for the engine's sharded concrete-evaluation queries.
+//!
+//! `eval_tuples_par` / `abort_eval_par` / `delete_base_eval_par` must
+//! return exactly what their serial counterparts return — same values,
+//! same tuple order — for every thread count, including 1 (serial
+//! fallback) and more threads than tuples. Randomized over log shapes via
+//! the in-repo xorshift harness (see `uprov-core/tests/prop.rs` for the
+//! offline-proptest rationale).
+
+use uprov_core::{MemoPool, Valuation};
+use uprov_engine::{Engine, UpdateLog};
+use uprov_structures::{Bool, Worlds};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A random update log over a small tuple universe: inserts, deletes and
+/// multi-source modifies, so per-tuple provenance mixes spines, `·M`
+/// queries and `Σ` sources — the shapes the evaluators must agree on.
+fn random_log(rng: &mut Rng, txns: usize, tuples: usize) -> UpdateLog {
+    let mut s = String::new();
+    for j in 0..tuples / 2 {
+        s.push_str(&format!("base b{j}\n"));
+    }
+    let tuple = |rng: &mut Rng, tuples: usize| {
+        let j = rng.below(tuples);
+        if j < tuples / 2 {
+            format!("b{j}")
+        } else {
+            format!("x{j}")
+        }
+    };
+    for i in 0..txns {
+        s.push_str(&format!("begin t{i}\n"));
+        for _ in 0..1 + rng.below(4) {
+            match rng.below(3) {
+                0 => s.push_str(&format!("insert {}\n", tuple(rng, tuples))),
+                1 => s.push_str(&format!("delete {}\n", tuple(rng, tuples))),
+                _ => {
+                    let target = tuple(rng, tuples);
+                    let n_src = 1 + rng.below(3);
+                    let srcs: Vec<String> = (0..n_src).map(|_| tuple(rng, tuples)).collect();
+                    s.push_str(&format!("modify {target} <- {}\n", srcs.join(" ")));
+                }
+            }
+        }
+        s.push_str("commit\n");
+    }
+    s.parse().expect("generated log is valid")
+}
+
+const THREADS: [usize; 4] = [1, 2, 4, 9];
+
+#[test]
+fn prop_eval_tuples_par_bit_identical_to_serial() {
+    let pool: MemoPool<bool> = MemoPool::new();
+    let wpool: MemoPool<u64> = MemoPool::new();
+    for seed in 0..40 {
+        let mut rng = Rng::new(seed * 62_989 + 11);
+        let mut engine = Engine::new();
+        let (n_txns, n_tuples) = (3 + rng.below(12), 2 + rng.below(7));
+        let log = random_log(&mut rng, n_txns, n_tuples);
+        let state = engine.replay(&log).expect("replays");
+        let mut val: Valuation<bool> = Valuation::constant(true);
+        let mut wval: Valuation<u64> = Valuation::constant(u64::MAX);
+        for name in state.tuple_names() {
+            if let Some(a) = state.base_atom(name) {
+                if rng.below(3) == 0 {
+                    val.set(a, false);
+                    wval.set(a, 0);
+                }
+            }
+        }
+        let serial = engine.eval_tuples(&state, &Bool, &val);
+        let wserial = engine.eval_tuples(&state, &Worlds, &wval);
+        for threads in THREADS {
+            assert_eq!(
+                engine.eval_tuples_par(&state, &Bool, &val, threads),
+                serial,
+                "seed {seed}: Bool diverged at {threads} threads"
+            );
+            assert_eq!(
+                engine.eval_tuples_par_in(&state, &Worlds, &wval, &wpool, threads),
+                wserial,
+                "seed {seed}: Worlds diverged at {threads} threads"
+            );
+        }
+        // The pooled variant agrees and parks its buffers for the next case.
+        for threads in THREADS {
+            assert_eq!(
+                engine.eval_tuples_par_in(&state, &Bool, &val, &pool, threads),
+                serial,
+                "seed {seed}: pooled Bool diverged at {threads} threads"
+            );
+        }
+    }
+    assert!(pool.pooled() >= 1);
+}
+
+#[test]
+fn prop_abort_and_delete_par_bit_identical_to_serial() {
+    for seed in 0..30 {
+        let mut rng = Rng::new(seed * 15_486_719 + 3);
+        let mut engine = Engine::new();
+        let (n_txns, n_tuples) = (3 + rng.below(10), 2 + rng.below(6));
+        let log = random_log(&mut rng, n_txns, n_tuples);
+        let state = engine.replay(&log).expect("replays");
+        let txn = format!("t{}", rng.below(n_txns));
+        let serial = engine.abort_eval(&state, &txn, &Bool, true).expect("known");
+        for threads in THREADS {
+            assert_eq!(
+                engine
+                    .abort_eval_par(&state, &txn, &Bool, true, threads)
+                    .expect("known"),
+                serial,
+                "seed {seed}: abort diverged at {threads} threads"
+            );
+        }
+        let base = state
+            .tuple_names()
+            .find(|n| state.base_atom(n).is_some())
+            .map(str::to_owned);
+        if let Some(base) = base {
+            let serial = engine
+                .delete_base_eval(&state, &base, &Worlds, u64::MAX)
+                .expect("known");
+            for threads in THREADS {
+                assert_eq!(
+                    engine
+                        .delete_base_eval_par(&state, &base, &Worlds, u64::MAX, threads)
+                        .expect("known"),
+                    serial,
+                    "seed {seed}: delete diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn par_queries_report_the_same_errors_as_serial() {
+    let mut engine = Engine::new();
+    let state = engine
+        .replay(&"base x\nbegin t\ninsert y\ncommit\n".parse().unwrap())
+        .unwrap();
+    assert!(engine
+        .abort_eval_par(&state, "nope", &Bool, true, 2)
+        .is_err());
+    assert!(
+        engine
+            .delete_base_eval_par(&state, "y", &Bool, true, 2)
+            .is_err(),
+        "y is not a base tuple"
+    );
+    // threads == 0 resolves via UPROV_THREADS/auto and still answers.
+    let rows = engine.abort_eval_par(&state, "t", &Bool, true, 0).unwrap();
+    assert_eq!(rows, engine.abort_eval(&state, "t", &Bool, true).unwrap());
+}

@@ -1,13 +1,54 @@
 #!/usr/bin/env bash
 # Markdown link check for the curated documentation — README.md, ROADMAP.md
-# and docs/: every relative inline link target must exist on disk. (The
-# generated reference dumps PAPER.md/PAPERS.md/SNIPPETS.md are excluded:
-# they carry links from their upstream extraction, not ours.) The build
-# environment is offline, so http(s)/mailto links are skipped, as are
-# pure-fragment (#...) anchors. Run from anywhere; exits non-zero after
-# listing every broken target.
+# and docs/: every relative inline link target must exist on disk, and
+# every fragment (`file.md#section`, or a pure `#section` within the same
+# file) must name a real heading in the target file (GitHub-style slugs).
+# (The generated reference dumps PAPER.md/PAPERS.md/SNIPPETS.md are
+# excluded: they carry links from their upstream extraction, not ours.)
+# The build environment is offline, so http(s)/mailto links are skipped.
+# Run from anywhere; exits non-zero after listing every broken target.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# GitHub's heading-anchor slug, approximately: lowercase, backticks/markup
+# stripped, punctuation dropped (keeping alphanumerics, spaces, hyphens,
+# underscores), spaces to hyphens.
+slugify() {
+  printf '%s' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[`*]//g; s/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# anchors_of FILE: every heading anchor FILE exports, one per line —
+# headings inside ``` fences are NOT anchors (a bash comment in a code
+# block must not satisfy the check), and repeated headings get GitHub's
+# -1/-2/… dedup suffixes (so a link to the second occurrence passes).
+# NOTE: heading matching stays in grep — mawk has no {1,6} intervals and
+# silently matches nothing; awk only tracks the fence state.
+anchors_of() {
+  local head
+  awk '/^```/ { fence = !fence; next } !fence' "$1" \
+    | { grep -E '^#{1,6} ' || true; } \
+    | sed -E 's/^#{1,6} +//' \
+    | while IFS= read -r head; do
+        slugify "$head"
+        printf '\n'
+      done \
+    | awk '{ if (seen[$0]++) print $0 "-" seen[$0] - 1; else print $0 }'
+}
+
+# has_anchor FILE FRAGMENT: true iff FILE exports the anchor FRAGMENT.
+# (A read loop, not `anchors_of | grep -q`: grep -q exiting early would
+# SIGPIPE the producer and, under pipefail, fail a real match.)
+has_anchor() {
+  local frag="$2" line
+  while IFS= read -r line; do
+    if [ "$line" = "$frag" ]; then
+      return 0
+    fi
+  done < <(anchors_of "$1")
+  return 1
+}
 
 fail=0
 for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
@@ -18,14 +59,36 @@ for f in README.md ROADMAP.md CHANGES.md docs/*.md; do
     [ -n "$link" ] || continue
     case "$link" in
       http://* | https://* | mailto:*) continue ;;
-      '#'*) continue ;;
     esac
     target="${link%%#*}"
-    [ -n "$target" ] || continue
+    frag=""
+    case "$link" in
+      *'#'*) frag="${link#*#}" ;;
+    esac
     dir=$(dirname "$f")
-    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+    resolved=""
+    if [ -z "$target" ]; then
+      # Pure fragment: anchors into the current file.
+      resolved="$f"
+    elif [ -e "$dir/$target" ]; then
+      resolved="$dir/$target"
+    elif [ -e "$target" ]; then
+      resolved="$target"
+    else
       echo "BROKEN LINK: $f -> $link"
       fail=1
+      continue
+    fi
+    # Anchor check, for markdown targets with a fragment.
+    if [ -n "$frag" ]; then
+      case "$resolved" in
+        *.md)
+          if ! has_anchor "$resolved" "$frag"; then
+            echo "BROKEN ANCHOR: $f -> $link (no heading slugs to '#$frag' in $resolved)"
+            fail=1
+          fi
+          ;;
+      esac
     fi
   done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
 done
@@ -33,4 +96,4 @@ done
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "markdown links OK"
+echo "markdown links + anchors OK"
