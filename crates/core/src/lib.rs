@@ -35,17 +35,19 @@ pub mod arena;
 pub mod atom;
 pub mod axioms;
 pub mod expr;
+pub mod fxhash;
 pub mod nf;
 pub mod parallel;
 pub mod rewrite;
 pub mod structure;
 
-pub use arena::{BinOp, DenseMemo, ExprArena, Node, NodeId, NodeStats};
+pub use arena::{BinOp, DenseMemo, ExprArena, Node, NodeId, NodeStats, NotCanonical};
 pub use atom::{Atom, AtomKind, AtomTable};
 pub use axioms::{
     axiom_info, check_axioms, check_zero_axioms, AxiomFailure, AxiomInfo, AxiomReport, FIGURE_3,
 };
 pub use expr::{Expr, ExprRef};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use nf::{
     equiv, equiv_in, nf, nf_budget_in, nf_in, nf_roots_budget_in, nf_roots_in,
     nf_roots_incremental_budget_in, nf_roots_incremental_in, try_equiv_budget_in, try_equiv_in,

@@ -87,9 +87,10 @@
 //! assert_eq!(nf(&mut ar, e1), want); // axiom 7
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::arena::{BinOp, DenseMemo, ExprArena, Node, NodeId};
+use crate::fxhash::FxBuildHasher;
 use crate::rewrite::reduce;
 
 /// Round budget for [`nf`]/[`nf_in`]. Each round reduces every reachable
@@ -302,6 +303,13 @@ pub struct EpochMap<K, V = NodeId> {
     // re-insert would leave a permanent stale copy behind.
     stale_band_entries: usize,
     epoch: u64,
+    // Whether hits migrate entries to the current epoch (see
+    // `get_refresh`). Off by default: age bands only matter once an
+    // eviction budget exists, and an unbudgeted engine makes thousands of
+    // cache hits per query — paying a band push (and its share of a
+    // periodic O(live) compaction) per hit for a policy that never fires
+    // is a measurable tax on the incremental query paths.
+    track_hits: bool,
 }
 
 impl<K, V> Default for EpochMap<K, V> {
@@ -311,6 +319,7 @@ impl<K, V> Default for EpochMap<K, V> {
             bands: std::collections::BTreeMap::new(),
             stale_band_entries: 0,
             epoch: 0,
+            track_hits: false,
         }
     }
 }
@@ -331,6 +340,54 @@ impl<K: std::hash::Hash + Eq + Clone, V> EpochMap<K, V> {
     #[inline]
     pub fn contains(&self, key: &K) -> bool {
         self.map.contains_key(key)
+    }
+
+    /// Enables or disables hit-refreshing (see
+    /// [`get_refresh`](EpochMap::get_refresh)). The engine flips this on
+    /// exactly when a cache budget is set — with no eviction pressure the
+    /// age bands are never consulted, so tracking hits would be pure
+    /// overhead on every cached query.
+    pub fn set_track_hits(&mut self, on: bool) {
+        self.track_hits = on;
+    }
+
+    /// [`get`](EpochMap::get) that also **refreshes** the entry to the
+    /// current epoch — the hit-aware (LRU-ish) half of the valve: touching
+    /// a cached entry moves it out of the oldest age bands, so a hot
+    /// working set keeps outliving
+    /// [`evict_oldest_epoch`](EpochMap::evict_oldest_epoch) pressure that
+    /// drops cold entries of the same age. The entry's old band slot
+    /// becomes a stale no-op, compacted away by the same counter that
+    /// bounds re-insert garbage.
+    ///
+    /// With hit-tracking off (the default — see
+    /// [`set_track_hits`](EpochMap::set_track_hits)) this is a plain
+    /// [`get`](EpochMap::get).
+    pub fn get_refresh(&mut self, key: &K) -> Option<&V> {
+        if !self.track_hits {
+            return self.map.get(key).map(|(v, _)| v);
+        }
+        let epoch = self.epoch;
+        match self.map.get_mut(key) {
+            None => return None,
+            Some((_, tag)) if *tag == epoch => {}
+            Some((_, tag)) => {
+                *tag = epoch;
+                self.bands.entry(epoch).or_default().push(key.clone());
+                self.stale_band_entries += 1;
+                if self.stale_band_entries > self.map.len() {
+                    self.compact_bands();
+                }
+            }
+        }
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Iterates over every live `(key, value)` pair, in no particular
+    /// order. Used to export the map (e.g. into a snapshot); epoch tags
+    /// are bookkeeping, not state, and are not exposed.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (v, _))| (k, v))
     }
 
     /// Records `value` for `key`, tagged with the current epoch. A
@@ -447,6 +504,36 @@ impl NfCache {
         self.map.contains(&id)
     }
 
+    /// [`lookup`](NfCache::lookup) that also refreshes the entry to the
+    /// current epoch (see [`EpochMap::get_refresh`]): a root that keeps
+    /// being queried keeps migrating into the newest age band, so hot
+    /// entries survive budget eviction that drops equally-old cold ones.
+    /// [`nf_roots_incremental_in`] uses this for its root-level hits; cut
+    /// lookups inside the round loop stay read-only and do not refresh.
+    /// A plain lookup unless hit-tracking is on (see
+    /// [`set_track_hits`](NfCache::set_track_hits)).
+    #[inline]
+    pub fn lookup_refresh(&mut self, id: NodeId) -> Option<NodeId> {
+        self.map.get_refresh(&id).copied()
+    }
+
+    /// Enables or disables hit-refreshing (see
+    /// [`EpochMap::set_track_hits`]) — on exactly while an eviction
+    /// budget is in force.
+    pub fn set_track_hits(&mut self, on: bool) {
+        self.map.set_track_hits(on);
+    }
+
+    /// Iterates over every certified `root ↦ nf` entry (including the
+    /// `nf ↦ nf` fixpoints), in no particular order — the export hook for
+    /// engine snapshots. Every pair satisfies the
+    /// [`insert_certified`](NfCache::insert_certified) contract, so a
+    /// faithful re-import into a cache over the same (or an id-identically
+    /// rebuilt) arena is sound.
+    pub fn iter_certified(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// Records `nf` as the certified normal form of `root` (and of itself:
     /// normal forms are fixpoints, so `nf ↦ nf` is recorded too). Entries
     /// are tagged with the current [`epoch`](NfCache::epoch) for the
@@ -555,7 +642,9 @@ pub fn nf_roots_incremental_budget_in(
     let mut dirty_ix: Vec<usize> = Vec::new();
     let mut dirty_roots: Vec<NodeId> = Vec::new();
     for (i, &r) in roots.iter().enumerate() {
-        match cache.lookup(r) {
+        // Refreshing lookup: a hot root migrates to the current epoch on
+        // every hit, so budget eviction drops cold entries first.
+        match cache.lookup_refresh(r) {
             Some(n) => {
                 cache.hits += 1;
                 out.push(NfOutcome {
@@ -613,6 +702,24 @@ fn nf_roots_driver(
     if out.is_empty() {
         return out;
     }
+    // Top-level rule fixpoints observed during this call. `reduce`
+    // saturates the rule table, so its result matches no rule — and the
+    // arena is append-only and every rule a pure function of node
+    // structure, so the fact stays true in later rounds. Only `+I`/`+M`
+    // block tops are recorded: they are the nodes whose rule checks
+    // decompose the whole spine (O(block width) per rule), so the
+    // fixpoint-confirmation round gets to skip exactly the expensive
+    // re-check of an unchanged block instead of re-scanning its spine
+    // once per rule.
+    // (`RefCell`: the rewrite step closure and the driver's explicit
+    // root reduction below both consult and extend the set. Consults are
+    // gated on the node *being* a `+I`/`+M` top — for every other node
+    // the set can't contain it, and the per-node hash probe would cost
+    // more than it saves on the incremental fast path.)
+    let top_fixpoints: std::cell::RefCell<HashSet<NodeId, FxBuildHasher>> = Default::default();
+    let is_block_top = |ar: &ExprArena, id: NodeId| {
+        matches!(ar.node(id), Node::Bin(BinOp::PlusI | BinOp::PlusM, ..))
+    };
     for round in 0..max_rounds {
         let len = out.iter().map(|o| o.id.index() + 1).max().unwrap_or(0);
         // One marking sweep and one rewrite pass per round, shared across
@@ -634,10 +741,16 @@ fn nf_roots_driver(
         }
         let marked: &DenseMemo<u8> = flags;
         let mut step = |ar: &mut ExprArena, orig: NodeId, rebuilt: NodeId| {
-            if skips_reduction(ar, marked, orig, rebuilt) {
+            if skips_reduction(ar, marked, orig, rebuilt)
+                || (is_block_top(ar, rebuilt) && top_fixpoints.borrow().contains(&rebuilt))
+            {
                 rebuilt
             } else {
-                reduce(ar, rebuilt)
+                let next = reduce(ar, rebuilt);
+                if is_block_top(ar, next) {
+                    top_fixpoints.borrow_mut().insert(next);
+                }
+                next
             }
         };
         let mut any_changed = false;
@@ -652,8 +765,13 @@ fn nf_roots_driver(
             // reachable): the shared pass then skipped its top-level
             // reduction on behalf of that other root's block top. The root
             // is its own block top here, so reduce it explicitly.
-            if skips_reduction(arena, marked, cur, next) {
+            if skips_reduction(arena, marked, cur, next)
+                && !(is_block_top(arena, next) && top_fixpoints.borrow().contains(&next))
+            {
                 next = reduce(arena, next);
+                if is_block_top(arena, next) {
+                    top_fixpoints.borrow_mut().insert(next);
+                }
             }
             if next != cur {
                 o.id = next;
@@ -1224,6 +1342,73 @@ mod tests {
         m.advance_epoch();
         assert_eq!(m.evict_oldest_epoch(), 1, "skips the all-stale band");
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_refresh_moves_hot_keys_out_of_the_oldest_band() {
+        let mut m: EpochMap<u32, u32> = EpochMap::new();
+        // Off by default: a refresh without eviction pressure is a plain
+        // get — no band migration, no bookkeeping.
+        m.insert(0, 0);
+        m.advance_epoch();
+        assert_eq!(m.get_refresh(&0), Some(&0));
+        m.advance_epoch();
+        assert_eq!(m.evict_oldest_epoch(), 1, "untracked hit did not migrate");
+        m.set_track_hits(true);
+        m.insert(1, 10); // will stay hot
+        m.insert(2, 20); // will go cold
+        m.advance_epoch();
+        // Touch key 1 in the new epoch: it migrates, key 2 stays behind.
+        assert_eq!(m.get_refresh(&1), Some(&10));
+        m.advance_epoch();
+        assert_eq!(m.evict_oldest_epoch(), 1, "only the cold key is dropped");
+        assert!(!m.contains(&2));
+        assert_eq!(m.get(&1), Some(&10), "the hot key survived its old band");
+        // Same-epoch refresh is a no-op (no stale band entry accumulates).
+        assert_eq!(m.get_refresh(&1), Some(&10));
+        assert_eq!(m.get_refresh(&1), Some(&10));
+        assert_eq!(m.len(), 1);
+        // A missing key refreshes nothing.
+        assert_eq!(m.get_refresh(&9), None);
+    }
+
+    #[test]
+    fn incremental_root_hits_refresh_the_entrys_epoch() {
+        let (mut t, mut ar) = setup();
+        let mut memo = NfMemo::new();
+        let mut cache = NfCache::new();
+        cache.set_track_hits(true); // as the engine does when budgeted
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let ins = ar.plus_i(a, p);
+        let hot = ar.minus(ins, p);
+        nf_roots_incremental_in(&mut ar, &[hot], &mut cache, &mut memo);
+        // Age the hot entry, then hit it through the incremental path: the
+        // root-level hit must re-tag it to the current epoch.
+        cache.advance_epoch();
+        let again = nf_roots_incremental_in(&mut ar, &[hot], &mut cache, &mut memo);
+        assert_eq!(again[0].rounds, 0, "served from cache");
+        cache.advance_epoch();
+        // One eviction drains the oldest band (the un-refreshed `nf ↦ nf`
+        // fixpoint twin from epoch 0); the refreshed root entry now lives
+        // in a newer band and survives.
+        assert!(cache.evict_oldest_epoch() > 0);
+        assert!(
+            cache.contains(hot),
+            "a root hit in the previous epoch outlives the oldest band"
+        );
+    }
+
+    #[test]
+    fn epoch_map_iter_sees_exactly_the_live_entries() {
+        let mut m: EpochMap<u32, u32> = EpochMap::new();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.advance_epoch();
+        m.insert(1, 11); // re-insert: one live entry per key
+        let mut live: Vec<(u32, u32)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        live.sort_unstable();
+        assert_eq!(live, vec![(1, 11), (2, 20)]);
     }
 
     #[test]

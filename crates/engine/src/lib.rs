@@ -359,6 +359,75 @@ impl ReplayState {
         self.dirty.insert(tuple.to_owned());
         self.tuples.insert(tuple.to_owned(), id);
     }
+
+    /// Exports the full state as plain serializable data — every map in
+    /// sorted name order (the iteration order of the underlying B-trees),
+    /// so exports are deterministic and re-imports rebuild the trees from
+    /// sorted input. The storage layer's snapshot format is built on this.
+    pub fn to_snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            tuples: self.tuples.iter().map(|(n, &id)| (n.clone(), id)).collect(),
+            base_atoms: self
+                .base_atoms
+                .iter()
+                .map(|(n, &a)| (n.clone(), a))
+                .collect(),
+            txn_atoms: self
+                .txn_atoms
+                .iter()
+                .map(|(n, &a)| (n.clone(), a))
+                .collect(),
+            updates: self.updates as u64,
+            certified: self
+                .nf_by_tuple
+                .iter()
+                .map(|(n, &id)| (n.clone(), id))
+                .collect(),
+            dirty: self.dirty.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a state from a [`StateSnapshot`] — the inverse of
+    /// [`ReplayState::to_snapshot`].
+    ///
+    /// Contract: the snapshot must describe a state of the engine the
+    /// result will be used with — every [`NodeId`] live in its arena,
+    /// every [`Atom`] live in its table with the right kind, exactly as
+    /// [`to_snapshot`](ReplayState::to_snapshot) exported them. The
+    /// storage layer enforces this with checksums plus range validation
+    /// before calling in; a fabricated snapshot yields a state whose
+    /// queries are garbage (or panic on a dangling id).
+    pub fn from_snapshot(snap: StateSnapshot) -> ReplayState {
+        ReplayState {
+            tuples: snap.tuples.into_iter().collect(),
+            base_atoms: snap.base_atoms.into_iter().collect(),
+            txn_atoms: snap.txn_atoms.into_iter().collect(),
+            updates: snap.updates as usize,
+            nf_by_tuple: snap.certified.into_iter().collect(),
+            dirty: snap.dirty.into_iter().collect(),
+        }
+    }
+}
+
+/// A plain-data image of one [`ReplayState`]: what
+/// [`ReplayState::to_snapshot`] exports and
+/// [`ReplayState::from_snapshot`] rebuilds. All vectors are in sorted
+/// name order. This is the serialization boundary — the engine defines
+/// *what* durable state is, the storage layer defines the bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// `(tuple name, provenance root)` for every tracked tuple.
+    pub tuples: Vec<(String, NodeId)>,
+    /// `(tuple name, atom)` for every declared base tuple.
+    pub base_atoms: Vec<(String, Atom)>,
+    /// `(transaction name, annotation atom)` for every replayed txn.
+    pub txn_atoms: Vec<(String, Atom)>,
+    /// Number of updates replayed into the state.
+    pub updates: u64,
+    /// `(tuple name, certified normal form)` for every clean tuple.
+    pub certified: Vec<(String, NodeId)>,
+    /// Names of the dirty tuples.
+    pub dirty: Vec<String>,
 }
 
 /// Per-tuple answer of a symbolic abort or deletion-propagation query: the
@@ -455,9 +524,36 @@ impl Engine {
         Self::default()
     }
 
+    /// Rebuilds an engine around a deserialized atom table and arena —
+    /// the restore path of the storage layer's snapshot format. Memo
+    /// buffers and both caches start empty (they are volatile query
+    /// state; the storage layer re-seeds certified normal forms through
+    /// [`Engine::nf_cache_mut`] afterwards).
+    ///
+    /// Contract: `arena` and `atoms` must be mutually consistent — every
+    /// [`uprov_core::Node::Atom`] in the arena refers to a live atom in
+    /// the table. Snapshot decoding validates this before calling in.
+    pub fn from_parts(atoms: AtomTable, arena: ExprArena) -> Engine {
+        Engine {
+            atoms,
+            arena,
+            ..Engine::default()
+        }
+    }
+
     /// The atom table (e.g. for pretty-printing exported provenance).
     pub fn atoms(&self) -> &AtomTable {
         &self.atoms
+    }
+
+    /// Mutable access to the normal-form cache, for re-seeding certified
+    /// entries on snapshot restore. The
+    /// [`NfCache::insert_certified`] contract applies unchanged: every
+    /// inserted pair must be a true certified normal form *in this
+    /// engine's arena* — a wrong entry silently poisons every later
+    /// incremental query that cuts at it.
+    pub fn nf_cache_mut(&mut self) -> &mut NfCache {
+        &mut self.nf_cache
     }
 
     /// The expression arena holding every replayed log's provenance.
@@ -507,6 +603,11 @@ impl Engine {
     /// ```
     pub fn set_cache_budget(&mut self, entries: Option<usize>) {
         self.cache_budget = entries;
+        // Hit-refreshing (cache hits migrating entries into the newest
+        // age band) only matters while eviction can fire; unbudgeted
+        // engines skip the per-hit band bookkeeping entirely.
+        self.nf_cache.set_track_hits(entries.is_some());
+        self.subst_cache.set_track_hits(entries.is_some());
         self.enforce_cache_budget();
     }
 
@@ -637,54 +738,12 @@ impl Engine {
     /// assert!(!state.is_dirty("x"), "untouched: certified NF survives");
     /// assert_eq!(state.update_count(), 2);
     /// ```
-    pub fn append<'l>(
+    pub fn append(
         &mut self,
         state: &mut ReplayState,
-        log: &'l UpdateLog,
+        log: &UpdateLog,
     ) -> Result<usize, ReplayError> {
-        // Validation pass: every name must resolve to a consistently
-        // kinded atom and no base tuple may be re-declared, *before* any
-        // mutation of the state or the atom table — so a failed append
-        // leaves both exactly as they were. `pending` tracks the kinds
-        // this log itself assigns, catching clashes internal to the log
-        // (two uses of one fresh name under different kinds) that the
-        // table alone cannot see.
-        let mut pending: HashMap<&str, AtomKind> = HashMap::new();
-        let check = |engine: &Engine,
-                     pending: &mut HashMap<&'l str, AtomKind>,
-                     name: &'l str,
-                     kind: AtomKind|
-         -> Result<(), ReplayError> {
-            engine.check_kind(name, kind)?;
-            match pending.insert(name, kind) {
-                Some(prev) if prev != kind => Err(ReplayError::NameKindClash {
-                    name: name.to_owned(),
-                }),
-                _ => Ok(()),
-            }
-        };
-        for b in &log.base {
-            if state.tuples.contains_key(b) {
-                return Err(ReplayError::LateBase { name: b.clone() });
-            }
-            check(self, &mut pending, b, AtomKind::Tuple)?;
-        }
-        for txn in &log.txns {
-            check(self, &mut pending, &txn.name, AtomKind::Txn)?;
-            for op in &txn.ops {
-                match op {
-                    Op::Insert { tuple } | Op::Delete { tuple } => {
-                        check(self, &mut pending, tuple, AtomKind::Tuple)?;
-                    }
-                    Op::Modify { target, sources } => {
-                        check(self, &mut pending, target, AtomKind::Tuple)?;
-                        for s in sources {
-                            check(self, &mut pending, s, AtomKind::Tuple)?;
-                        }
-                    }
-                }
-            }
-        }
+        self.validate_append(state, log)?;
         // Apply pass: infallible (all atoms validated above).
         let before = state.updates;
         for b in &log.base {
@@ -738,6 +797,65 @@ impl Engine {
             }
         }
         Ok(state.updates - before)
+    }
+
+    /// The validation pass of [`Engine::append`], exposed so callers that
+    /// must do work *between* validation and application — a write-ahead
+    /// log, most importantly, which has to persist the delta before the
+    /// engine applies it — can establish up front that the apply pass
+    /// cannot fail. A log this method accepts is guaranteed to apply: the
+    /// subsequent [`Engine::append`] returns `Ok` provided neither the
+    /// state nor the engine changed in between.
+    ///
+    /// Checks every name resolves to a consistently kinded atom and no
+    /// base tuple is re-declared, without mutating the state or the atom
+    /// table (kind checks peek, they never intern), so a rejected log
+    /// leaves both exactly as they were.
+    pub fn validate_append<'l>(
+        &self,
+        state: &ReplayState,
+        log: &'l UpdateLog,
+    ) -> Result<(), ReplayError> {
+        // `pending` tracks the kinds this log itself assigns, catching
+        // clashes internal to the log (two uses of one fresh name under
+        // different kinds) that the table alone cannot see.
+        let mut pending: HashMap<&str, AtomKind> = HashMap::new();
+        let check = |engine: &Engine,
+                     pending: &mut HashMap<&'l str, AtomKind>,
+                     name: &'l str,
+                     kind: AtomKind|
+         -> Result<(), ReplayError> {
+            engine.check_kind(name, kind)?;
+            match pending.insert(name, kind) {
+                Some(prev) if prev != kind => Err(ReplayError::NameKindClash {
+                    name: name.to_owned(),
+                }),
+                _ => Ok(()),
+            }
+        };
+        for b in &log.base {
+            if state.tuples.contains_key(b) {
+                return Err(ReplayError::LateBase { name: b.clone() });
+            }
+            check(self, &mut pending, b, AtomKind::Tuple)?;
+        }
+        for txn in &log.txns {
+            check(self, &mut pending, &txn.name, AtomKind::Txn)?;
+            for op in &txn.ops {
+                match op {
+                    Op::Insert { tuple } | Op::Delete { tuple } => {
+                        check(self, &mut pending, tuple, AtomKind::Tuple)?;
+                    }
+                    Op::Modify { target, sources } => {
+                        check(self, &mut pending, target, AtomKind::Tuple)?;
+                        for s in sources {
+                            check(self, &mut pending, s, AtomKind::Tuple)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Normalizes every dirty tuple of `state` (incrementally — certified
@@ -810,13 +928,16 @@ impl Engine {
         // NF cache then re-normalizes only images it has never certified —
         // a repeated query against an appended log does O(delta) work.
         let substituted = if cached {
-            // One hash probe per root: resolve hits immediately, remember
-            // which slots missed, batch-substitute those, back-fill.
+            // One hash probe per root: resolve hits immediately (the
+            // refreshing lookup re-tags hot entries to the current epoch,
+            // so a repeated query's working set outlives budget eviction),
+            // remember which slots missed, batch-substitute those,
+            // back-fill.
             let mut out: Vec<NodeId> = Vec::with_capacity(roots.len());
             let mut miss_ix: Vec<usize> = Vec::new();
             let mut misses: Vec<NodeId> = Vec::new();
             for (i, &r) in roots.iter().enumerate() {
-                match self.subst_cache.get(&(zeroed, r)) {
+                match self.subst_cache.get_refresh(&(zeroed, r)) {
                     Some(&img) => out.push(img),
                     None => {
                         miss_ix.push(i);

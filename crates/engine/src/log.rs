@@ -121,7 +121,12 @@ impl FromStr for UpdateLog {
                 continue;
             }
             let mut words = line.split_whitespace();
-            let head = words.next().expect("non-empty line");
+            // `line` is non-empty after trimming, so the iterator yields at
+            // least one token — but a parser must never panic on input, so
+            // the invariant is downgraded to a reportable error.
+            let Some(head) = words.next() else {
+                return Err(err(line_no, "empty directive line"));
+            };
             match head {
                 "base" => {
                     if open.is_some() || !log.txns.is_empty() {

@@ -124,3 +124,74 @@ fn setting_a_budget_enforces_immediately_and_none_disables() {
     engine.abort_symbolic(&state, "t1").unwrap();
     assert!(engine.cached_entries() > 0);
 }
+
+#[test]
+fn hot_working_set_outlives_budget_pressure() {
+    // PR 6: the valve is hit-aware. NF-cache entries the workload keeps
+    // touching are re-tagged to the current epoch on every hit
+    // (`NfCache::lookup_refresh`), so `evict_oldest_epoch` drains cold
+    // one-shot entries first and a hot working set stays resident across
+    // unbounded churn — LRU-ish semantics at epoch granularity.
+    //
+    // The hot query is an equivalence check between two states whose `a`
+    // roots are *distinct ids with equal normal forms* (`b c` vs `c b`
+    // sources — sum interning preserves order), so every run must resolve
+    // both roots through the engine's NF cache: a root-level hit if the
+    // entry survived, a recorded miss if churn evicted it. Reverting
+    // `lookup_refresh` to the non-refreshing `lookup` makes this test
+    // fail at the first post-eviction iteration.
+    let mut engine = Engine::new();
+    engine.set_cache_budget(Some(96));
+    let hot_a = engine
+        .replay(
+            &"base b c\nbegin p\nmodify a <- b c\ncommit\n"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+    let hot_b = engine
+        .replay(
+            &"base b c\nbegin p\nmodify a <- c b\ncommit\n"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+    assert_ne!(
+        hot_a.provenance("a"),
+        hot_b.provenance("a"),
+        "distinct ids, or the query would skip normalization entirely"
+    );
+    // Warm: the first equivalence run pays the misses and caches the NFs.
+    assert!(engine.equivalent(&hot_a, &hot_b).is_equivalent());
+
+    // Cold churn: every iteration appends a fresh transaction to a
+    // *separate* state and queries it — all-new roots, maximal pressure.
+    let cold_log: UpdateLog = "base c0 c1 c2 c3\n".parse().unwrap();
+    let mut cold = engine.replay(&cold_log).unwrap();
+    let mut peak = 0;
+    for i in 0..400 {
+        let delta: UpdateLog = format!("begin ct{i}\ninsert c{}\ncommit\n", i % 4)
+            .parse()
+            .unwrap();
+        engine.append(&mut cold, &delta).unwrap();
+        engine.certify(&mut cold);
+        engine.abort_symbolic(&cold, &format!("ct{i}")).unwrap();
+        let entries = engine.cached_entries();
+        assert!(entries <= 96, "iteration {i}: valve broke ({entries})");
+        peak = peak.max(entries);
+
+        // The hot query must stay all-hits: its entries were refreshed on
+        // the previous touch, so churn evictions never reach them.
+        let misses_before = engine.nf_cache().misses();
+        assert!(engine.equivalent(&hot_a, &hot_b).is_equivalent());
+        assert_eq!(
+            engine.nf_cache().misses(),
+            misses_before,
+            "iteration {i}: a hot root fell out of the cache under churn"
+        );
+    }
+    assert!(
+        peak >= 90,
+        "the churn never pressured the budget (peak {peak})"
+    );
+}

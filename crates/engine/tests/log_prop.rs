@@ -1,0 +1,166 @@
+//! Property tests for the textual update-log format: parse/print
+//! round-trips over random logs, noise-immunity (blank lines,
+//! whitespace-only lines, comments), and the trailing-junk rejections —
+//! the adversarial counterpart of `log.rs`'s example-based tests.
+//!
+//! Uses the repo-standard seeded xorshift harness (`proptest` is
+//! unavailable offline); seeds are fixed, failures print the seed.
+
+use uprov_engine::{Op, Txn, UpdateLog};
+
+/// xorshift64* — deterministic, dependency-free (same as core's prop.rs).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A random token-safe name: non-empty, no whitespace, no `#` — the
+/// domain the round-trip guarantee covers (module docs of `log.rs`).
+fn name(rng: &mut Rng, prefix: &str) -> String {
+    let tail: String = (0..1 + rng.below(6))
+        .map(|_| {
+            let chars = b"abcdefghijklmnopqrstuvwxyz0123456789_-.<>";
+            chars[rng.below(chars.len())] as char
+        })
+        .collect();
+    format!("{prefix}{tail}")
+}
+
+/// A random structurally-valid [`UpdateLog`] (parser-reachable shape:
+/// every transaction committed, `modify` non-empty, base up front).
+fn random_log(rng: &mut Rng) -> UpdateLog {
+    let mut log = UpdateLog::default();
+    for _ in 0..rng.below(4) {
+        log.base.push(name(rng, "b"));
+    }
+    for _ in 0..rng.below(5) {
+        let mut txn = Txn {
+            name: name(rng, "t"),
+            ops: Vec::new(),
+        };
+        for _ in 0..rng.below(6) {
+            txn.ops.push(match rng.below(3) {
+                0 => Op::Insert {
+                    tuple: name(rng, "x"),
+                },
+                1 => Op::Delete {
+                    tuple: name(rng, "x"),
+                },
+                _ => Op::Modify {
+                    target: name(rng, "x"),
+                    sources: (0..1 + rng.below(3)).map(|_| name(rng, "x")).collect(),
+                },
+            });
+        }
+        log.txns.push(txn);
+    }
+    log
+}
+
+/// Re-renders `text` with random noise the parser must ignore: blank
+/// lines, whitespace-only lines, comment lines, trailing comments, and
+/// leading/trailing indentation on real lines.
+fn add_noise(rng: &mut Rng, text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        while rng.below(3) == 0 {
+            out.push_str(match rng.below(4) {
+                0 => "\n",
+                1 => "   \t  \n",
+                2 => "# a full-line comment\n",
+                _ => "\t#indented comment # with a second hash\n",
+            });
+        }
+        if rng.coin() {
+            out.push_str("  \t");
+        }
+        out.push_str(line);
+        if rng.coin() {
+            out.push_str("   ");
+        }
+        if rng.below(4) == 0 {
+            out.push_str("  # trailing comment");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn print_parse_round_trips_random_logs() {
+    for seed in 1..=200u64 {
+        let mut rng = Rng::new(seed);
+        let log = random_log(&mut rng);
+        let printed = log.to_string();
+        let reparsed: UpdateLog = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("seed {seed}: printed log must reparse: {e}\n{printed}"));
+        assert_eq!(reparsed, log, "seed {seed}: round trip");
+        // And printing is a fixpoint: parse(print(x)) prints identically.
+        assert_eq!(reparsed.to_string(), printed, "seed {seed}: fixpoint");
+    }
+}
+
+#[test]
+fn noise_never_changes_the_parse() {
+    for seed in 1..=100u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9));
+        let log = random_log(&mut rng);
+        let noisy = add_noise(&mut rng, &log.to_string());
+        let reparsed: UpdateLog = noisy
+            .parse()
+            .unwrap_or_else(|e| panic!("seed {seed}: noisy log must parse: {e}\n{noisy}"));
+        assert_eq!(reparsed, log, "seed {seed}: noise changed the parse");
+    }
+}
+
+#[test]
+fn blank_and_whitespace_only_lines_parse_as_empty() {
+    for src in ["", "\n", "   \n\t\n  ", "# only\n  # comments\n\n"] {
+        let log: UpdateLog = src.parse().expect("ignorable input");
+        assert_eq!(log, UpdateLog::default(), "{src:?}");
+    }
+    // A line that becomes empty after comment-stripping is ignorable too,
+    // not a panic (the `expect` this replaced) and not an error.
+    let log: UpdateLog = "base a\n   # comment after spaces\nbegin t\ninsert b\ncommit\n"
+        .parse()
+        .expect("comment-only line is ignorable");
+    assert_eq!(log.base, vec!["a"]);
+    assert_eq!(log.update_count(), 1);
+}
+
+#[test]
+fn junk_trailing_tokens_are_rejected_with_their_line() {
+    for (src, line, needle) in [
+        ("begin t extra\ninsert x\ncommit\n", 1, "exactly one name"),
+        ("begin t\ninsert x y\ncommit\n", 2, "exactly one tuple"),
+        ("begin t\ndelete x y z\ncommit\n", 2, "exactly one tuple"),
+        ("begin t\ninsert x\ncommit now\n", 3, "takes no operands"),
+        (
+            "begin t\ninsert x\ncommit\n\n\ncommit again\n",
+            6,
+            "without `begin`",
+        ),
+    ] {
+        let got = src.parse::<UpdateLog>().expect_err(src);
+        assert_eq!(got.line, line, "{src:?}: {got}");
+        assert!(got.message.contains(needle), "{src:?}: {got}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Fault injection: a [`Storage`] wrapper that corrupts one blob at a
+//! seeded byte offset, modelling the two crash shapes the recovery
+//! property test drives.
+//!
+//! * [`FaultMode::CrashAt`] — the process dies mid-append: the append that
+//!   would carry the blob past `offset` lands only its prefix up to
+//!   `offset` (a *short write*), the call fails, and every later operation
+//!   fails too (the process is gone). Crashing exactly at a record
+//!   boundary degenerates to truncation, so truncation is covered by the
+//!   same mode.
+//! * [`FaultMode::BitFlip`] — silent media corruption: the instant the
+//!   blob grows past `offset`, the byte at `offset` is XOR-ed with `mask`.
+//!   No error is ever surfaced; later appends continue on top of the
+//!   damage, exactly like a latent flipped bit under live traffic.
+//!
+//! The wrapper is deliberately *not* clever: tests decide the offset (the
+//! seeded part), the wrapper just executes it. After the fault, recover
+//! from the wrapped storage via [`FaultStorage::into_inner`].
+
+use std::io;
+
+use crate::backend::Storage;
+
+/// Which corruption to inject, on which blob, at which byte offset.
+/// Offsets are absolute positions in the blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Kill the process during the append that crosses `offset`: bytes up
+    /// to `offset` land, the rest do not, and all later calls fail.
+    CrashAt {
+        /// The blob under attack (for the engine: [`crate::WAL_BLOB`]).
+        blob: String,
+        /// Absolute byte offset the blob is cut at.
+        offset: u64,
+    },
+    /// Flip bits in the byte at `offset` once it exists, silently.
+    BitFlip {
+        /// The blob under attack.
+        blob: String,
+        /// Absolute byte offset of the victim byte.
+        offset: u64,
+        /// XOR mask applied to the victim byte (use a non-zero mask).
+        mask: u8,
+    },
+}
+
+/// A [`Storage`] that injects one [`FaultMode`] into an inner backend.
+#[derive(Debug, Clone)]
+pub struct FaultStorage<S> {
+    inner: S,
+    mode: FaultMode,
+    tripped: bool,
+}
+
+impl<S: Storage> FaultStorage<S> {
+    /// Wraps `inner`, arming the fault.
+    pub fn new(inner: S, mode: FaultMode) -> Self {
+        FaultStorage {
+            inner,
+            mode,
+            tripped: false,
+        }
+    }
+
+    /// True once the fault has fired. For [`FaultMode::CrashAt`] this also
+    /// means every future call fails.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// The wrapped backend — "the disk" to recover from after the fault.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Shared view of the wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn dead(&self) -> io::Result<()> {
+        if self.tripped && matches!(self.mode, FaultMode::CrashAt { .. }) {
+            return Err(io::Error::other("injected crash: process is gone"));
+        }
+        Ok(())
+    }
+
+    /// After a mutation, apply a pending bit flip if the victim byte now
+    /// exists. Read-modify-replace is fine here: this is a test fixture,
+    /// not a durability path.
+    fn maybe_flip(&mut self, touched: &str) -> io::Result<()> {
+        let FaultMode::BitFlip { blob, offset, mask } = &self.mode else {
+            return Ok(());
+        };
+        if self.tripped || touched != blob {
+            return Ok(());
+        }
+        let (blob, offset, mask) = (blob.clone(), *offset as usize, *mask);
+        let Some(mut bytes) = self.inner.read(&blob)? else {
+            return Ok(());
+        };
+        if bytes.len() > offset {
+            bytes[offset] ^= mask;
+            self.inner.write_atomic(&blob, &bytes)?;
+            self.tripped = true;
+        }
+        Ok(())
+    }
+}
+
+impl<S: Storage> Storage for FaultStorage<S> {
+    fn read(&self, blob: &str) -> io::Result<Option<Vec<u8>>> {
+        self.dead()?;
+        self.inner.read(blob)
+    }
+
+    fn write_atomic(&mut self, blob: &str, bytes: &[u8]) -> io::Result<()> {
+        // An atomic replace either lands whole or not at all — CrashAt
+        // never tears it, it only kills calls after the trip point.
+        self.dead()?;
+        self.inner.write_atomic(blob, bytes)?;
+        self.maybe_flip(blob)
+    }
+
+    fn append(&mut self, blob: &str, bytes: &[u8]) -> io::Result<()> {
+        self.dead()?;
+        if let FaultMode::CrashAt {
+            blob: target,
+            offset,
+        } = &self.mode
+        {
+            if blob == target {
+                let cur = self.inner.len(blob)?.unwrap_or(0);
+                let end = cur + bytes.len() as u64;
+                if end > *offset {
+                    // Short write: only the prefix below the cut lands.
+                    let keep = offset.saturating_sub(cur) as usize;
+                    self.inner.append(blob, &bytes[..keep])?;
+                    self.tripped = true;
+                    return Err(io::Error::other("injected crash mid-append"));
+                }
+            }
+        }
+        self.inner.append(blob, bytes)?;
+        self.maybe_flip(blob)
+    }
+
+    fn sync(&mut self, blob: &str) -> io::Result<()> {
+        self.dead()?;
+        self.inner.sync(blob)
+    }
+
+    fn truncate(&mut self, blob: &str, len: u64) -> io::Result<()> {
+        self.dead()?;
+        self.inner.truncate(blob, len)
+    }
+
+    fn len(&self, blob: &str) -> io::Result<Option<u64>> {
+        self.dead()?;
+        self.inner.len(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStorage;
+
+    #[test]
+    fn crash_at_short_writes_and_then_kills_everything() {
+        let mut s = FaultStorage::new(
+            MemStorage::new(),
+            FaultMode::CrashAt {
+                blob: "wal".into(),
+                offset: 5,
+            },
+        );
+        s.append("wal", b"abc").unwrap();
+        assert!(!s.tripped());
+        // This append crosses offset 5: two bytes land, then the crash.
+        assert!(s.append("wal", b"defg").is_err());
+        assert!(s.tripped());
+        assert!(s.append("wal", b"x").is_err());
+        assert!(s.sync("wal").is_err());
+        assert!(s.read("wal").is_err());
+        let disk = s.into_inner();
+        assert_eq!(disk.blob("wal"), Some(&b"abcde"[..]));
+    }
+
+    #[test]
+    fn crash_exactly_at_a_boundary_is_a_clean_truncation() {
+        let mut s = FaultStorage::new(
+            MemStorage::new(),
+            FaultMode::CrashAt {
+                blob: "wal".into(),
+                offset: 3,
+            },
+        );
+        s.append("wal", b"abc").unwrap();
+        assert!(s.append("wal", b"def").is_err());
+        assert_eq!(s.into_inner().blob("wal"), Some(&b"abc"[..]));
+    }
+
+    #[test]
+    fn crash_targets_only_its_blob() {
+        let mut s = FaultStorage::new(
+            MemStorage::new(),
+            FaultMode::CrashAt {
+                blob: "wal".into(),
+                offset: 0,
+            },
+        );
+        s.append("other", b"fine").unwrap();
+        s.write_atomic("snapshot", b"fine too").unwrap();
+        assert!(s.append("wal", b"x").is_err());
+    }
+
+    #[test]
+    fn bit_flip_fires_once_silently_when_the_byte_appears() {
+        let mut s = FaultStorage::new(
+            MemStorage::new(),
+            FaultMode::BitFlip {
+                blob: "wal".into(),
+                offset: 4,
+                mask: 0x80,
+            },
+        );
+        s.append("wal", b"abc").unwrap();
+        assert!(!s.tripped(), "offset 4 does not exist yet");
+        s.append("wal", b"def").unwrap();
+        assert!(s.tripped());
+        s.append("wal", b"ghi").unwrap();
+        assert_eq!(s.into_inner().blob("wal"), Some(&b"abcd\xe5fghi"[..]));
+    }
+}
