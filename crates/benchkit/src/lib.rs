@@ -16,7 +16,10 @@
 
 use std::time::Instant;
 
+pub mod testrng;
+
 pub use std::hint::black_box;
+pub use testrng::TestRng;
 
 /// Statistics for one benchmark, in nanoseconds per iteration.
 #[derive(Debug, Clone)]

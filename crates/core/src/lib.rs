@@ -37,6 +37,7 @@ pub mod axioms;
 pub mod expr;
 pub mod fxhash;
 pub mod nf;
+pub mod oracle;
 pub mod parallel;
 pub mod rewrite;
 pub mod structure;
@@ -53,6 +54,7 @@ pub use nf::{
     nf_roots_incremental_budget_in, nf_roots_incremental_in, try_equiv_budget_in, try_equiv_in,
     EpochMap, NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
 };
+pub use oracle::{check_nf_preserves_eval, check_parallel_matches_serial, OracleDivergence};
 pub use parallel::{par_eval_many_in, par_eval_roots_in, resolve_threads, MemoPool};
 pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{

@@ -9,25 +9,8 @@ use uprov_core::{eval_arena, UpdateStructure, Valuation};
 use uprov_engine::{Engine, ReplayError, UpdateLog};
 use uprov_structures::{Bool, Worlds};
 
-/// xorshift64* — the same dependency-free generator as the core prop suite.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.max(1))
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-}
+// The repo-standard seeded xorshift64* harness (`benchkit::testrng`).
+use benchkit::TestRng as Rng;
 
 /// A random transaction block over a small tuple universe, `txn_ix` naming
 /// the transaction — log-append-shaped traffic for the interleaving tests.

@@ -20,6 +20,8 @@
 //! and exploited by the monus tests to show what rewriting would break on a
 //! structure that fails the axioms.
 
+use std::collections::BTreeSet;
+
 use uprov_core::{StructureHomomorphism, UpdateStructure};
 
 /// The Boolean deletion-propagation structure of Section 4.1.
@@ -106,6 +108,152 @@ impl StructureHomomorphism<Worlds, Bool> for WorldProjection {
     }
 }
 
+/// Access-control compartments: a security-label structure over `u16`
+/// bitmasks, in the mandatory-access-control (Bell–LaPadula category set)
+/// tradition.
+///
+/// Bit `k` answers "is this tuple visible to compartment `k`?". Inserting
+/// via several pipelines unions visibility (`+I = +M = + = ∪`), a tuple
+/// derived through a modification is visible only where *both* the source
+/// and the transaction's label allow (`·M = ∩`), and deletion revokes the
+/// deleter's compartments (`− = ∖`, relative complement). `0` is the empty
+/// label — visible to no one, i.e. absent.
+///
+/// Like [`Worlds`] this is a finite power of [`Bool`], so the Figure 3
+/// axioms hold compartment-by-compartment; the point of carrying it in the
+/// catalogue separately is the *reading* (who may see a tuple after this
+/// transaction log, and how would aborting a transaction change the
+/// label?) and the distinct carrier width exercised by the differential
+/// harness.
+///
+/// A note on what canNOT work here: a total-order sensitivity *level*
+/// (`min`/`max` over `{Public < Secret < TopSecret}`) is not an
+/// Update-Structure — axiom 5 forces `(b − c) ·M c = 0` for all `b, c`,
+/// which fails in any chain with three points (take `c = 1, b = 2` under
+/// `− = `"keep `a` unless `b ≥ a`", `·M = min`: `(2 − 1) ·M 1 = 1 ≠ 0`).
+/// Lattice *compartments* survive precisely because they are Boolean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clearance;
+
+impl UpdateStructure for Clearance {
+    type Value = u16;
+    fn zero(&self) -> u16 {
+        0
+    }
+    fn plus_i(&self, a: &u16, b: &u16) -> u16 {
+        a | b
+    }
+    fn minus(&self, a: &u16, b: &u16) -> u16 {
+        a & !b
+    }
+    fn plus_m(&self, a: &u16, b: &u16) -> u16 {
+        a | b
+    }
+    fn dot_m(&self, a: &u16, b: &u16) -> u16 {
+        a & b
+    }
+    fn plus(&self, a: &u16, b: &u16) -> u16 {
+        a | b
+    }
+}
+
+/// Trust/confidence tracking by **vouching source**: a `u32` bitmask whose
+/// bit `k` answers "does source `k` vouch for this tuple?".
+///
+/// Insertion through independent pipelines accumulates vouchers
+/// (`+I = +M = + = ∪`), a modified tuple is vouched for only by sources
+/// standing behind both the inputs and the transaction (`·M = ∩`), and
+/// deletion withdraws the deleting transaction's vouchers (`− = ∖`). A
+/// tuple with no vouchers (`0`) is untrusted/absent.
+///
+/// Why *sets of sources* rather than a numeric confidence score: any
+/// threshold- or count-valued semantics (confidence in `[0, 1]` with
+/// `max`/`min`, or voucher *counts* with `+`/monus) sits on a total order
+/// or on ℕ and fails the Figure 3 axioms exactly like [`CountingMonus`]
+/// does — axioms 5 and 10 force the carrier to be a (generalized) Boolean
+/// algebra. Tracking *which* sources vouch keeps the full information;
+/// numeric scores are then downstream reads (`popcount`, weighted sums)
+/// applied to evaluation *results*, or single-source projections via the
+/// [`TrustedBy`] homomorphism — the same "evaluate first, then interpret"
+/// discipline the paper uses for its security application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trust;
+
+impl UpdateStructure for Trust {
+    type Value = u32;
+    fn zero(&self) -> u32 {
+        0
+    }
+    fn plus_i(&self, a: &u32, b: &u32) -> u32 {
+        a | b
+    }
+    fn minus(&self, a: &u32, b: &u32) -> u32 {
+        a & !b
+    }
+    fn plus_m(&self, a: &u32, b: &u32) -> u32 {
+        a | b
+    }
+    fn dot_m(&self, a: &u32, b: &u32) -> u32 {
+        a & b
+    }
+    fn plus(&self, a: &u32, b: &u32) -> u32 {
+        a | b
+    }
+}
+
+/// Projects "does source `k` vouch?" out of a [`Trust`] value: a
+/// [`StructureHomomorphism`] onto [`Bool`]. Indices ≥ 32 name sources
+/// outside the carrier and project to `false`, keeping `apply` total.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustedBy(pub u8);
+
+impl StructureHomomorphism<Trust, Bool> for TrustedBy {
+    fn apply(&self, v: &u32) -> bool {
+        v.checked_shr(u32::from(self.0)).is_some_and(|w| w & 1 == 1)
+    }
+}
+
+/// Why-provenance witness sets over an **unbounded** universe: the carrier
+/// is a finite set of witness ids (`BTreeSet<u32>`), each id naming one
+/// minimal input-combination that explains the tuple's presence.
+///
+/// Alternative derivations union their witnesses (`+I = +M = + = ∪`), a
+/// tuple produced by a modification is witnessed only by explanations that
+/// survive both the sources and the transaction (`·M = ∩`), and deletion
+/// removes the deleted witnesses (`− = ∖`). The empty set is `0`: a tuple
+/// with no surviving explanation is absent — exactly the Why-provenance
+/// account of deletion propagation.
+///
+/// Set-algebraically this is again a (generalized) Boolean algebra — the
+/// axioms are the same identities as for [`Worlds`] — but unlike the
+/// bitmask structures the carrier is unbounded and the values are
+/// heap-allocated, so it exercises the non-`Copy`, allocation-heavy path
+/// through evaluation, parallel sharding and the differential harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Witnesses;
+
+impl UpdateStructure for Witnesses {
+    type Value = BTreeSet<u32>;
+    fn zero(&self) -> BTreeSet<u32> {
+        BTreeSet::new()
+    }
+    fn plus_i(&self, a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> BTreeSet<u32> {
+        a.union(b).copied().collect()
+    }
+    fn minus(&self, a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> BTreeSet<u32> {
+        a.difference(b).copied().collect()
+    }
+    fn plus_m(&self, a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> BTreeSet<u32> {
+        a.union(b).copied().collect()
+    }
+    fn dot_m(&self, a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> BTreeSet<u32> {
+        a.intersection(b).copied().collect()
+    }
+    fn plus(&self, a: &BTreeSet<u32>, b: &BTreeSet<u32>) -> BTreeSet<u32> {
+        a.union(b).copied().collect()
+    }
+}
+
 /// Natural-number "counting" semantics with truncated subtraction (monus):
 /// a documented **negative example**, not a legitimate Update-Structure.
 ///
@@ -174,6 +322,101 @@ mod tests {
         let report = check_axioms(&Worlds, &[0, 1, 0b10, 0b1010, u64::MAX]);
         assert!(report.is_ok(), "failures: {:#?}", report.failures);
         assert!(report.checked > 100);
+    }
+
+    #[test]
+    fn catalogue_clearance_passes_all_axioms() {
+        let report = check_axioms(&Clearance, &[0, 1, 0b10, 0b110, u16::MAX]);
+        assert!(report.is_ok(), "failures: {:#?}", report.failures);
+        assert!(report.checked > 100);
+    }
+
+    #[test]
+    fn catalogue_trust_passes_all_axioms() {
+        let report = check_axioms(&Trust, &[0, 1, 0b10, 0b1011, u32::MAX]);
+        assert!(report.is_ok(), "failures: {:#?}", report.failures);
+        assert!(report.checked > 100);
+    }
+
+    #[test]
+    fn catalogue_witnesses_passes_all_axioms() {
+        let samples: Vec<BTreeSet<u32>> = [&[][..], &[1], &[2], &[1, 2], &[1, 2, 3]]
+            .iter()
+            .map(|ids| ids.iter().copied().collect())
+            .collect();
+        let report = check_axioms(&Witnesses, &samples);
+        assert!(report.is_ok(), "failures: {:#?}", report.failures);
+        assert!(report.checked > 100);
+    }
+
+    /// The documented impossibility: total-order min/max "trust levels" are
+    /// not an Update-Structure. Axiom 5 demands `(b − c) ·M c = 0`
+    /// pointwise, and any chain with ≥ 3 levels breaks it — which is why
+    /// [`Trust`] tracks vouching *sets* instead of a score.
+    #[test]
+    fn total_order_trust_levels_are_rejected_by_axiom_5() {
+        #[derive(Debug)]
+        struct Levels; // 0 < 1 < 2 < …: max to combine, min to restrict
+        impl UpdateStructure for Levels {
+            type Value = u32;
+            fn zero(&self) -> u32 {
+                0
+            }
+            fn plus_i(&self, a: &u32, b: &u32) -> u32 {
+                *a.max(b)
+            }
+            fn minus(&self, a: &u32, b: &u32) -> u32 {
+                // Revoking at level b kills anything it dominates.
+                if b >= a {
+                    0
+                } else {
+                    *a
+                }
+            }
+            fn plus_m(&self, a: &u32, b: &u32) -> u32 {
+                *a.max(b)
+            }
+            fn dot_m(&self, a: &u32, b: &u32) -> u32 {
+                *a.min(b)
+            }
+            fn plus(&self, a: &u32, b: &u32) -> u32 {
+                *a.max(b)
+            }
+        }
+        let report = check_axioms(&Levels, &[0, 1, 2]);
+        assert!(!report.is_ok(), "three-point chains must be rejected");
+        assert!(
+            report.failures.iter().any(|f| f.axiom == 5),
+            "axiom 5 is the witness: {:#?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn trusted_by_commutes_with_eval() {
+        use uprov_core::{eval_arena, map_valuation, AtomTable, ExprArena, Valuation};
+        let mut t = AtomTable::new();
+        let mut ar = ExprArena::new();
+        let x = t.fresh_tuple();
+        let p = t.fresh_txn();
+        let xa = ar.atom(x);
+        let pa = ar.atom(p);
+        let dot = ar.dot_m(xa, pa);
+        let e = ar.minus(dot, xa);
+        // Sources {0, 2} vouch for x; sources {0, 1} stand behind p.
+        let val: Valuation<u32> = Valuation::constant(u32::MAX).with(x, 0b101).with(p, 0b011);
+        let vouchers = eval_arena(&ar, e, &Trust, &val);
+        for k in 0..3 {
+            let h = TrustedBy(k);
+            let projected = map_valuation::<Trust, Bool, _>(&h, &val);
+            assert_eq!(
+                h.apply(&vouchers),
+                eval_arena(&ar, e, &Bool, &projected),
+                "source {k}: projection must commute with evaluation"
+            );
+        }
+        assert!(!TrustedBy(32).apply(&u32::MAX));
+        assert!(!TrustedBy(u8::MAX).apply(&u32::MAX));
     }
 
     #[test]
@@ -257,6 +500,64 @@ mod tests {
 
         check(&Bool, &[false, true]);
         check(&Worlds, &[0, 1, 0b10, 0b1010, u64::MAX]);
+        check(&Clearance, &[0, 1, 0b10, 0b110, u16::MAX]);
+        check(&Trust, &[0, 1, 0b10, 0b1011, u32::MAX]);
+        let sets: Vec<BTreeSet<u32>> = [&[][..], &[1], &[2], &[1, 2, 3]]
+            .iter()
+            .map(|ids| ids.iter().copied().collect())
+            .collect();
+        check(&Witnesses, &sets);
+    }
+
+    /// The same contract routed through the shared `uprov_core::oracle`
+    /// helpers the differential harness uses, so the catalogue and the
+    /// fuzzer are provably checking one definition — plus the parallel
+    /// oracle, which the exhaustive test above does not cover.
+    #[test]
+    fn core_oracles_accept_the_catalogue() {
+        use uprov_core::{
+            check_nf_preserves_eval, check_parallel_matches_serial, AtomTable, ExprArena,
+            UpdateStructure, Valuation,
+        };
+
+        fn drive<S: UpdateStructure>(s: &S, carrier: &[S::Value]) {
+            let mut t = AtomTable::new();
+            let mut ar = ExprArena::new();
+            let atoms = [t.fresh_tuple(), t.fresh_tuple(), t.fresh_txn()];
+            let [a, b, p] = atoms.map(|at| ar.atom(at));
+            let ins = ar.plus_i(a, p);
+            let e1 = ar.minus(ins, p);
+            let dot = ar.dot_m(b, p);
+            let md = ar.plus_m(a, dot);
+            let e2 = ar.minus(md, p);
+            let e3 = ar.plus_i(md, p);
+            let roots = [e1, e2, e3];
+            let mut vals = Vec::new();
+            for (i, x) in carrier.iter().enumerate() {
+                let y = &carrier[(i + 1) % carrier.len()];
+                vals.push(
+                    Valuation::constant(carrier[carrier.len() - 1 - i % carrier.len()].clone())
+                        .with(atoms[0], x.clone())
+                        .with(atoms[2], y.clone()),
+                );
+            }
+            let checked = check_nf_preserves_eval(&mut ar, &roots, s, &vals)
+                .unwrap_or_else(|d| panic!("{d}"));
+            assert_eq!(checked, roots.len() * vals.len());
+            let checked = check_parallel_matches_serial(&ar, &roots, s, &vals[0], &[1, 2, 8])
+                .unwrap_or_else(|d| panic!("{d}"));
+            assert_eq!(checked, roots.len() * 3);
+        }
+
+        drive(&Bool, &[false, true]);
+        drive(&Worlds, &[0, 1, 0b1010, u64::MAX]);
+        drive(&Clearance, &[0, 1, 0b110, u16::MAX]);
+        drive(&Trust, &[0, 1, 0b1011, u32::MAX]);
+        let sets: Vec<BTreeSet<u32>> = [&[][..], &[1], &[1, 2, 3]]
+            .iter()
+            .map(|ids| ids.iter().copied().collect())
+            .collect();
+        drive(&Witnesses, &sets);
     }
 
     /// Why the catalogue excludes monus: the rewriter identifies

@@ -1,0 +1,470 @@
+//! The cross-crate differential fuzzing harness.
+//!
+//! Every test sweeps the same generated case list (seeded workloads from
+//! [`uprov_workload::WorkloadConfig::sample`]) and checks one *agreement
+//! oracle* between independent execution paths that must produce
+//! identical answers:
+//!
+//! 1. incremental append (random schedule) == one-shot from-scratch replay;
+//! 2. cached queries == their `*_uncached` baselines, and log-state
+//!    equivalence is reflexive (under reprint) and symmetric;
+//! 3. parallel evaluation == serial evaluation, for every catalogue
+//!    structure and several thread counts;
+//! 4. cache-valve budgets change memory use, never answers;
+//! 5. checkpoint → crash → recover through `uprov-storage` preserves
+//!    every query answer.
+//!
+//! Scaling knobs (see `uprov_workload::knobs`): `UPROV_FUZZ_CASES` (cases
+//! per seed; default keeps tier-1 fast) and `UPROV_FUZZ_SEEDS`
+//! (comma-separated base seeds; the CI `fuzz-matrix` job fans these out).
+//! Every assertion message carries the one-line workload config — paste it
+//! back into a `WorkloadConfig` to reproduce a failure exactly.
+
+use std::collections::BTreeSet;
+
+use benchkit::TestRng;
+use uprov_core::{UpdateStructure, Valuation};
+use uprov_engine::{Engine, ReplayState, SymbolicTuple, UpdateLog};
+use uprov_storage::{DurableEngine, MemStorage};
+use uprov_structures::{Bool, Clearance, Trust, Witnesses, Worlds};
+use uprov_workload::{knobs, Workload, WorkloadConfig};
+
+/// The generated case list every oracle sweeps: `UPROV_FUZZ_CASES` cases
+/// for each seed in `UPROV_FUZZ_SEEDS`.
+fn cases() -> Vec<Workload> {
+    let per_seed = knobs::fuzz_cases(6);
+    let mut out = Vec::new();
+    for seed in knobs::fuzz_seeds() {
+        for i in 0..per_seed {
+            let case_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::new(case_seed);
+            out.push(Workload::generate(WorkloadConfig::sample(
+                case_seed, &mut rng,
+            )));
+        }
+    }
+    out
+}
+
+/// Per-case RNG for schedule/sampling decisions, decorrelated from the
+/// generator's own stream.
+fn case_rng(cfg: &WorkloadConfig) -> TestRng {
+    TestRng::new(cfg.seed ^ 0xD1FF_E12E_57A7_E000)
+}
+
+/// A deterministic 64-bit fingerprint of a name (FNV-1a), the seed for
+/// per-atom valuation values: the same name maps to the same value in
+/// *any* engine, which is what lets us compare answers across engines
+/// whose `Atom` numbering differs (e.g. pre- and post-recovery).
+fn name_mask(name: &str, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt.wrapping_mul(0x100_0000_01b3);
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a valuation assigning `mk(fingerprint(name))` to every base
+/// tuple atom and transaction atom of `state`.
+fn valuation_for<S, F>(
+    w: &Workload,
+    state: &ReplayState,
+    salt: u64,
+    top: S::Value,
+    mk: F,
+) -> Valuation<S::Value>
+where
+    S: UpdateStructure,
+    F: Fn(u64) -> S::Value,
+{
+    let mut val = Valuation::constant(top);
+    for name in &w.log.base {
+        if let Some(atom) = state.base_atom(name) {
+            val.set(atom, mk(name_mask(name, salt)));
+        }
+    }
+    for name in &w.txn_names {
+        if let Some(atom) = state.txn_atom(name) {
+            val.set(atom, mk(name_mask(name, salt)));
+        }
+    }
+    val
+}
+
+fn witness_set(mask: u64) -> BTreeSet<u32> {
+    (0..16).filter(|k| mask >> k & 1 == 1).collect()
+}
+
+/// Owned `(name, value)` rows of a full-database evaluation — the
+/// engine-independent form used to compare answers across engines.
+fn eval_map<S: UpdateStructure>(
+    engine: &mut Engine,
+    state: &ReplayState,
+    s: &S,
+    val: &Valuation<S::Value>,
+) -> Vec<(String, S::Value)> {
+    engine
+        .eval_tuples(state, s, val)
+        .into_iter()
+        .map(|(n, v)| (n.to_owned(), v))
+        .collect()
+}
+
+/// Owned comparison rows for a symbolic query answer.
+fn sym_rows(engine: &Engine, rows: &[SymbolicTuple]) -> Vec<(String, String, bool)> {
+    rows.iter()
+        .map(|t| (t.name.clone(), engine.render(t.provenance), t.saturated))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1: incremental maintenance == from-scratch replay.
+// ---------------------------------------------------------------------
+
+#[test]
+fn incremental_append_matches_from_scratch_replay() {
+    for w in cases() {
+        let cfg = &w.config;
+        let mut rng = case_rng(cfg);
+        let mut engine = Engine::new();
+        let scratch = engine
+            .replay(&w.log)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+
+        let slices = w.schedule(&mut rng);
+        let mut inc = engine
+            .replay(&slices[0])
+            .unwrap_or_else(|e| panic!("{cfg}: slice 0: {e}"));
+        for (i, slice) in slices.iter().enumerate().skip(1) {
+            engine
+                .append(&mut inc, slice)
+                .unwrap_or_else(|e| panic!("{cfg}: slice {i}: {e}"));
+        }
+
+        assert_eq!(
+            inc.update_count(),
+            scratch.update_count(),
+            "{cfg}: update counts"
+        );
+        // Hash-consing makes structural identity visible as id identity:
+        // the appended path must intern the very same provenance nodes.
+        let a: Vec<_> = scratch.tuples().collect();
+        let b: Vec<_> = inc.tuples().collect();
+        assert_eq!(
+            a,
+            b,
+            "{cfg}: tuple provenance ids (schedule {} slices)",
+            slices.len()
+        );
+
+        let eq = engine.equivalent(&scratch, &inc);
+        assert!(eq.is_equivalent(), "{cfg}: semantic equivalence: {eq:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: cached queries == uncached baselines; equivalence is
+// reflexive (under reprint) and symmetric.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cached_queries_match_uncached_baselines() {
+    for w in cases() {
+        let cfg = &w.config;
+        let mut engine = Engine::new();
+        let state = engine
+            .replay(&w.log)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+
+        for txn in &w.txn_names {
+            let cached = engine
+                .abort_symbolic(&state, txn)
+                .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+            let baseline = engine
+                .abort_symbolic_uncached(&state, txn)
+                .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+            assert_eq!(
+                sym_rows(&engine, &cached),
+                sym_rows(&engine, &baseline),
+                "{cfg}: abort({txn}) cached vs uncached"
+            );
+        }
+
+        // Reflexivity, straight and under print→parse→replay.
+        assert!(engine.equivalent(&state, &state).is_equivalent(), "{cfg}");
+        let reprinted: UpdateLog = w
+            .log
+            .to_string()
+            .parse()
+            .unwrap_or_else(|e| panic!("{cfg}: reprint must parse: {e}"));
+        let re_state = engine
+            .replay(&reprinted)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        let fwd = engine.equivalent(&state, &re_state);
+        let bwd = engine.equivalent(&re_state, &state);
+        assert!(fwd.is_equivalent(), "{cfg}: reprint forward: {fwd:?}");
+        assert!(bwd.is_equivalent(), "{cfg}: reprint backward: {bwd:?}");
+        let unc = engine.equivalent_uncached(&state, &re_state);
+        assert!(unc.is_equivalent(), "{cfg}: uncached equivalence: {unc:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 3: parallel == serial, for every catalogue structure.
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_evaluation_matches_serial_for_every_structure() {
+    fn check<S, F>(
+        w: &Workload,
+        engine: &mut Engine,
+        state: &ReplayState,
+        s: &S,
+        top: S::Value,
+        mk: F,
+    ) where
+        S: UpdateStructure,
+        F: Fn(u64) -> S::Value,
+    {
+        let cfg = &w.config;
+        let val = valuation_for::<S, _>(w, state, 0x51, top, mk);
+        let serial = eval_map(engine, state, s, &val);
+        for threads in [0usize, 1, 2, 3, 8] {
+            let par: Vec<(String, S::Value)> = engine
+                .eval_tuples_par(state, s, &val, threads)
+                .into_iter()
+                .map(|(n, v)| (n.to_owned(), v))
+                .collect();
+            assert_eq!(
+                serial,
+                par,
+                "{cfg}: {} threads={threads}",
+                std::any::type_name::<S>()
+            );
+        }
+    }
+
+    for w in cases() {
+        let cfg = &w.config;
+        let mut rng = case_rng(cfg);
+        let mut engine = Engine::new();
+        let state = engine
+            .replay(&w.log)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+
+        check(&w, &mut engine, &state, &Bool, true, |m| m >> 7 & 1 == 1);
+        check(&w, &mut engine, &state, &Worlds, u64::MAX, |m| m);
+        check(&w, &mut engine, &state, &Clearance, u16::MAX, |m| m as u16);
+        check(&w, &mut engine, &state, &Trust, u32::MAX, |m| m as u32);
+        check(
+            &w,
+            &mut engine,
+            &state,
+            &Witnesses,
+            witness_set(u64::MAX),
+            witness_set,
+        );
+
+        // The fused query paths shard too: abort/delete-base evaluation.
+        if !w.txn_names.is_empty() {
+            let txn = w.txn_names[rng.below(w.txn_names.len())].clone();
+            let serial = engine
+                .abort_eval(&state, &txn, &Bool, true)
+                .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+            for threads in [1usize, 3, 8] {
+                let par = engine
+                    .abort_eval_par(&state, &txn, &Bool, true, threads)
+                    .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+                assert_eq!(serial, par, "{cfg}: abort_eval({txn}) threads={threads}");
+            }
+        }
+        if !w.log.base.is_empty() {
+            let tuple = w.log.base[rng.below(w.log.base.len())].clone();
+            let serial = engine
+                .delete_base_eval(&state, &tuple, &Worlds, u64::MAX)
+                .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+            for threads in [1usize, 3, 8] {
+                let par = engine
+                    .delete_base_eval_par(&state, &tuple, &Worlds, u64::MAX, threads)
+                    .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+                assert_eq!(
+                    serial, par,
+                    "{cfg}: delete_base_eval({tuple}) threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 4: cache-valve budgets never change answers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cache_valve_budget_never_changes_answers() {
+    for w in cases() {
+        let cfg = &w.config;
+        let mut engine = Engine::new();
+        let state = engine
+            .replay(&w.log)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+
+        // Unbudgeted reference pass: NF is a pure function of the root id
+        // in an append-only arena, so these rows must never change.
+        let reference: Vec<_> = w
+            .txn_names
+            .iter()
+            .map(|txn| {
+                let rows = engine.abort_symbolic(&state, txn).unwrap();
+                sym_rows(&engine, &rows)
+            })
+            .collect();
+        let val = valuation_for::<Bool, _>(&w, &state, 0xB0, true, |m| m >> 3 & 1 == 1);
+        let ref_eval = eval_map(&mut engine, &state, &Bool, &val);
+
+        for budget in [Some(64usize), Some(8), Some(1), None] {
+            engine.set_cache_budget(budget);
+            // Two passes per budget: the first evicts aggressively, the
+            // second re-queries through a cold (or thrashing) cache.
+            for pass in 0..2 {
+                for (ix, txn) in w.txn_names.iter().enumerate() {
+                    let rows = engine.abort_symbolic(&state, txn).unwrap();
+                    assert_eq!(
+                        sym_rows(&engine, &rows),
+                        reference[ix],
+                        "{cfg}: abort({txn}) budget={budget:?} pass={pass}"
+                    );
+                }
+                assert_eq!(
+                    eval_map(&mut engine, &state, &Bool, &val),
+                    ref_eval,
+                    "{cfg}: eval budget={budget:?} pass={pass}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: checkpoint → crash → recover preserves every answer.
+// ---------------------------------------------------------------------
+
+#[test]
+fn checkpoint_recovery_round_trip_preserves_answers() {
+    fn compare<S, F>(
+        w: &Workload,
+        fresh: (&mut Engine, &ReplayState),
+        recovered: (&mut Engine, &ReplayState),
+        s: &S,
+        top: S::Value,
+        mk: F,
+    ) where
+        S: UpdateStructure,
+        F: Fn(u64) -> S::Value + Copy,
+    {
+        let cfg = &w.config;
+        // Valuations are built per engine (atom numbering differs) but
+        // from the same name fingerprints, so answers are comparable.
+        let val_f = valuation_for::<S, _>(w, fresh.1, 0xCA, top.clone(), mk);
+        let val_r = valuation_for::<S, _>(w, recovered.1, 0xCA, top, mk);
+        assert_eq!(
+            eval_map(fresh.0, fresh.1, s, &val_f),
+            eval_map(recovered.0, recovered.1, s, &val_r),
+            "{cfg}: recovered answers under {}",
+            std::any::type_name::<S>()
+        );
+    }
+
+    for w in cases() {
+        let cfg = &w.config;
+        let mut rng = case_rng(cfg);
+        let slices = w.schedule(&mut rng);
+        let snap_after = rng.below(slices.len());
+
+        let (mut db, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        for (i, slice) in slices.iter().enumerate() {
+            db.append(slice)
+                .unwrap_or_else(|e| panic!("{cfg}: slice {i}: {e}"));
+            if i == snap_after {
+                db.snapshot()
+                    .unwrap_or_else(|e| panic!("{cfg}: snapshot: {e}"));
+            }
+        }
+        // Simulated shutdown + restart: whatever landed after the snapshot
+        // is replayed from the WAL on open.
+        let disk = db.into_storage();
+        let (mut db, report) = DurableEngine::open(disk)
+            .unwrap_or_else(|e| panic!("{cfg}: recovery (snap after slice {snap_after}): {e}"));
+        assert!(report.snapshot_loaded, "{cfg}: snapshot must be found");
+
+        let mut fresh = Engine::new();
+        let fresh_state = fresh
+            .replay(&w.log)
+            .unwrap_or_else(|e| panic!("{cfg}: {e}"));
+
+        {
+            let (eng, state) = db.query();
+            let mut names_fresh: Vec<&str> = fresh_state.tuple_names().collect();
+            let mut names_rec: Vec<&str> = state.tuple_names().collect();
+            names_fresh.sort_unstable();
+            names_rec.sort_unstable();
+            assert_eq!(names_fresh, names_rec, "{cfg}: tuple name sets");
+
+            compare(
+                &w,
+                (&mut fresh, &fresh_state),
+                (eng, state),
+                &Bool,
+                true,
+                |m| m >> 5 & 1 == 1,
+            );
+            compare(
+                &w,
+                (&mut fresh, &fresh_state),
+                (eng, state),
+                &Worlds,
+                u64::MAX,
+                |m| m,
+            );
+            compare(
+                &w,
+                (&mut fresh, &fresh_state),
+                (eng, state),
+                &Clearance,
+                u16::MAX,
+                |m| m as u16,
+            );
+            compare(
+                &w,
+                (&mut fresh, &fresh_state),
+                (eng, state),
+                &Trust,
+                u32::MAX,
+                |m| m as u32,
+            );
+            compare(
+                &w,
+                (&mut fresh, &fresh_state),
+                (eng, state),
+                &Witnesses,
+                witness_set(u64::MAX),
+                witness_set,
+            );
+
+            // Symbolic answers rendered to text are engine-independent too.
+            for txn in w.txn_names.iter().take(3) {
+                let a = fresh.abort_symbolic(&fresh_state, txn).unwrap();
+                let b = eng.abort_symbolic(state, txn).unwrap();
+                assert_eq!(
+                    sym_rows(&fresh, &a),
+                    sym_rows(eng, &b),
+                    "{cfg}: recovered abort({txn})"
+                );
+            }
+        }
+        drop(db);
+    }
+}

@@ -1,0 +1,115 @@
+//! Generated workloads round-trip through the textual log format.
+//!
+//! The generator emits `UpdateLog` values, but everything downstream of a
+//! file (the durable WAL, the CLI-ish fixtures, failure repro) goes
+//! through `Display`/`FromStr`. This suite pins print → parse → reprint
+//! to a fixed point over the generator's full output space — including
+//! noise-decorated text (blank lines, comments, stray indentation) and
+//! deliberately maximal-width transactions — so "paste the config, rerun"
+//! reproduces byte-identical logs end to end.
+
+use benchkit::TestRng;
+use uprov_engine::UpdateLog;
+use uprov_workload::{knobs, Workload, WorkloadConfig};
+
+/// Decorates printed log text with noise the parser must ignore: blank
+/// and whitespace-only lines, full-line and trailing comments, and
+/// leading/trailing indentation (the same adversarial grammar as the
+/// engine's own `log_prop` suite, aimed here at generator output).
+fn add_noise(rng: &mut TestRng, text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        while rng.below(3) == 0 {
+            out.push_str(match rng.below(4) {
+                0 => "\n",
+                1 => "   \t  \n",
+                2 => "# a full-line comment\n",
+                _ => "\t#indented comment # with a second hash\n",
+            });
+        }
+        if rng.coin() {
+            out.push_str("  \t");
+        }
+        out.push_str(line);
+        if rng.coin() {
+            out.push_str("   ");
+        }
+        if rng.below(4) == 0 {
+            out.push_str("  # trailing comment");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn generated_workloads_print_parse_reprint_to_a_fixed_point() {
+    let per_seed = knobs::fuzz_cases(8);
+    for seed in knobs::fuzz_seeds() {
+        for i in 0..per_seed {
+            let case_seed = seed.wrapping_mul(15_485_863).wrapping_add(i as u64);
+            let mut rng = TestRng::new(case_seed);
+            let cfg = WorkloadConfig::sample(case_seed, &mut rng);
+            let w = Workload::generate(cfg.clone());
+
+            let printed = w.log.to_string();
+            let reparsed: UpdateLog = printed
+                .parse()
+                .unwrap_or_else(|e| panic!("{cfg}: print must parse: {e}\n{printed}"));
+            assert_eq!(reparsed, w.log, "{cfg}: value round trip");
+            assert_eq!(reparsed.to_string(), printed, "{cfg}: reprint fixed point");
+
+            let noisy = add_noise(&mut rng, &printed);
+            let renoised: UpdateLog = noisy
+                .parse()
+                .unwrap_or_else(|e| panic!("{cfg}: noisy text must parse: {e}\n{noisy}"));
+            assert_eq!(renoised, w.log, "{cfg}: noise changed the parse");
+            assert_eq!(renoised.to_string(), printed, "{cfg}: noise reprint");
+        }
+    }
+}
+
+#[test]
+fn maximal_width_transactions_round_trip() {
+    // Saturate every width knob at once: one table, every op a modify
+    // reading the widest allowed source list from a tiny hot universe, so
+    // single lines carry many operands and repeated names.
+    let cfg = WorkloadConfig {
+        seed: 424_242,
+        tables: 1,
+        keys_per_table: 4,
+        txns: 20,
+        ops_per_txn: 12,
+        skew: 3,
+        hot_keys: 4,
+        hot_bias_pct: 100,
+        abort_rate_pct: 0,
+        modify_width: 16,
+    };
+    let w = Workload::generate(cfg.clone());
+    let widest = w
+        .log
+        .txns
+        .iter()
+        .flat_map(|t| &t.ops)
+        .filter_map(|op| match op {
+            uprov_engine::Op::Modify { sources, .. } => Some(sources.len()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(widest >= 8, "{cfg}: width knob must bite, widest={widest}");
+
+    let printed = w.log.to_string();
+    let reparsed: UpdateLog = printed
+        .parse()
+        .unwrap_or_else(|e| panic!("{cfg}: {e}\n{printed}"));
+    assert_eq!(reparsed, w.log, "{cfg}");
+    assert_eq!(reparsed.to_string(), printed, "{cfg}: fixed point");
+
+    // Blank-line decoration on the maximal log, too.
+    let mut rng = TestRng::new(cfg.seed);
+    let noisy = add_noise(&mut rng, &printed);
+    let renoised: UpdateLog = noisy.parse().unwrap_or_else(|e| panic!("{cfg}: {e}"));
+    assert_eq!(renoised.to_string(), printed, "{cfg}: noisy fixed point");
+}
