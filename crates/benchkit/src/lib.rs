@@ -38,6 +38,20 @@ pub struct BenchResult {
     pub min_ns: f64,
 }
 
+/// A named scalar measurement that is not a timing: node counts, byte
+/// sizes, cache hit rates. Recorded alongside the timed benches in the
+/// JSON report so size/space claims are tracked with the same machinery
+/// as speed claims.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name, e.g. `nf/pingpong10k/counted_nodes`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label for the report, e.g. `nodes` or `bytes`.
+    pub unit: String,
+}
+
 /// A named speedup derived from two benchmark medians.
 #[derive(Debug, Clone)]
 pub struct Comparison {
@@ -63,6 +77,7 @@ pub struct Harness {
     suite: String,
     results: Vec<BenchResult>,
     comparisons: Vec<Comparison>,
+    metrics: Vec<Metric>,
     violations: Vec<String>,
 }
 
@@ -98,8 +113,66 @@ impl Harness {
             suite: suite.to_owned(),
             results: Vec::new(),
             comparisons: Vec::new(),
+            metrics: Vec::new(),
             violations: Vec::new(),
         }
+    }
+
+    /// Records (and prints) a scalar [`Metric`] — a size, count or rate
+    /// measured outside the timing loop. Metrics land in the JSON report
+    /// and can be guarded with [`Harness::guard_metric_ratio`].
+    pub fn metric(&mut self, name: &str, value: f64, unit: &str) {
+        eprintln!("  {name:<40} metric  {value:>12.0} {unit}");
+        self.metrics.push(Metric {
+            name: name.to_owned(),
+            value,
+            unit: unit.to_owned(),
+        });
+    }
+
+    /// The metric recorded under `name`, if any.
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// Records the comparison `name` = `metric(big) / metric(small)` and
+    /// flags a **violation** if the ratio falls *below* `min_ratio` — the
+    /// metric-shaped analogue of [`Harness::guard_speedup`], for claims
+    /// like "the condensed normal form is at least 10× smaller than the
+    /// expanded one". Panics if either metric name is unknown. Violations
+    /// make [`Harness::finish`] exit non-zero after the JSON report is
+    /// written. Returns the measured ratio.
+    pub fn guard_metric_ratio(
+        &mut self,
+        name: &str,
+        big: &str,
+        small: &str,
+        min_ratio: f64,
+    ) -> f64 {
+        let big_v = self
+            .metric_value(big)
+            .unwrap_or_else(|| panic!("no metric {big}"));
+        let small_v = self
+            .metric_value(small)
+            .unwrap_or_else(|| panic!("no metric {small}"));
+        // Metrics are counts/sizes, so a sub-1 denominator means "measured
+        // nothing"; clamp it to 1 to keep the ratio finite and guardable.
+        let ratio = big_v / small_v.max(1.0);
+        eprintln!("  {name:<40} ratio   {ratio:>10.2}x  ({big} / {small})");
+        self.comparisons.push(Comparison {
+            name: name.to_owned(),
+            speedup: ratio,
+            clamped: false,
+        });
+        if ratio < min_ratio {
+            let msg = format!("{name}: ratio {ratio:.2}x is below the {min_ratio:.2}x floor");
+            eprintln!("  GUARD VIOLATION: {msg}");
+            self.violations.push(msg);
+        }
+        ratio
     }
 
     /// Runs one benchmark: calibrates an iteration count so a sample takes
@@ -277,6 +350,17 @@ impl Harness {
                 r.iters_per_sample,
                 r.samples,
                 if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {:.1}, \"unit\": \"{}\"}}{}\n",
+                escape(&m.name),
+                m.value,
+                escape(&m.unit),
+                if i + 1 < self.metrics.len() { "," } else { "" },
             ));
         }
         s.push_str("  ],\n");
@@ -484,6 +568,31 @@ mod tests {
         assert!(h.violations().is_empty());
         h.guard_speedup("guard/bad", "slow0", "fast0", 2.0);
         assert_eq!(h.violations().len(), 1);
+    }
+
+    #[test]
+    fn metric_guard_records_violations_only_below_floor() {
+        let mut h = Harness::new("selftest");
+        h.metric("nodes/expanded", 5_002.0, "nodes");
+        h.metric("nodes/counted", 3.0, "nodes");
+        assert_eq!(h.metric_value("nodes/counted"), Some(3.0));
+        // ~1667x compression: fine above a 10x floor…
+        let r = h.guard_metric_ratio("nf_size/ok", "nodes/expanded", "nodes/counted", 10.0);
+        assert!((r - 5_002.0 / 3.0).abs() < 1e-9);
+        assert!(h.violations().is_empty());
+        // …a violation above a 10_000x one.
+        h.guard_metric_ratio("nf_size/bad", "nodes/expanded", "nodes/counted", 10_000.0);
+        assert_eq!(h.violations().len(), 1);
+        assert!(h.violations()[0].contains("nf_size/bad"));
+        // A zero denominator yields a finite (huge) ratio, not inf/NaN.
+        h.metric("nodes/zero", 0.0, "nodes");
+        let z = h.guard_metric_ratio("nf_size/zero", "nodes/expanded", "nodes/zero", 10.0);
+        assert!(z.is_finite());
+        // Metrics land in the JSON report.
+        let json = h.to_json();
+        assert!(
+            json.contains("\"name\": \"nodes/expanded\", \"value\": 5002.0, \"unit\": \"nodes\"")
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub enum BinOp {
 }
 
 /// An interned expression node. Canonical by construction: no `Zero`
-/// operands, `Sum` is flat with ≥ 2 zero-free terms.
+/// operands, `Sum` is flat with ≥ 2 zero-free terms, and every `+I`/`+M`
+/// block with two or more increments is a single [`Node::Counted`] node
+/// (see below) rather than a left-nested spine of [`Node::Bin`]s.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Node {
     /// The distinguished `0`.
@@ -89,6 +91,33 @@ pub enum Node {
     Bin(BinOp, NodeId, NodeId),
     /// `Σ` over ≥ 2 terms.
     Sum(Box<[NodeId]>),
+    /// A **counted block**: `head ⊕ e₁ (×m₁) ⊕ e₂ (×m₂) ⊕ …` for
+    /// `⊕ ∈ {+I, +M}` — the condensed form of a maximal increment spine,
+    /// denoting the left-nested fold that applies each entry `eᵢ` as the
+    /// right operand `mᵢ` times. One node per block makes NF size
+    /// O(distinct increments) instead of O(applications), block merge a
+    /// linear merge-join of entries, and equivalence still one id compare.
+    ///
+    /// Canonical invariants (enforced by [`ExprArena::counted`] and
+    /// validated by [`ExprArena::from_canonical_nodes`]):
+    ///
+    /// * the operator is `+I` or `+M`,
+    /// * the head is not `0` and not itself a same-operator node,
+    /// * entries are non-empty, strictly ascending by [`NodeId`], zero-free,
+    ///   with every multiplicity ≥ 1,
+    /// * the total multiplicity is ≥ 2 — a single-application block stays a
+    ///   plain [`Node::Bin`], so each block has exactly one representation.
+    ///
+    /// Entries are opaque increments: an entry may itself be a same-operator
+    /// node (mirroring the spine form, where right-nested same-operator
+    /// increments were never merged into the left spine).
+    Counted(BinOp, NodeId, Box<[(NodeId, u32)]>),
+}
+
+/// True iff `node` is a `+I`/`+M` block carrying `op` — a spine [`Node::Bin`]
+/// or a condensed [`Node::Counted`].
+pub(crate) fn is_same_op_block(node: &Node, op: BinOp) -> bool {
+    matches!(node, Node::Bin(o, ..) | Node::Counted(o, ..) if *o == op)
 }
 
 /// A reusable dense side table indexed by [`NodeId`].
@@ -352,6 +381,44 @@ impl ExprArena {
                         }
                     }
                 }
+                Node::Counted(op, head, entries) => {
+                    if !matches!(op, BinOp::PlusI | BinOp::PlusM) {
+                        return err("counted block under a non-increment operator");
+                    }
+                    if !below(head) {
+                        return err("child id not below its parent");
+                    }
+                    if *head == Self::ZERO {
+                        return err("zero head in a counted block");
+                    }
+                    if is_same_op_block(&nodes[head.index()], *op) {
+                        return err("counted head repeats the block operator");
+                    }
+                    if entries.is_empty() {
+                        return err("counted block without entries");
+                    }
+                    let mut total: u64 = 0;
+                    let mut prev: Option<NodeId> = None;
+                    for &(e, m) in entries.iter() {
+                        if !below(&e) {
+                            return err("child id not below its parent");
+                        }
+                        if e == Self::ZERO {
+                            return err("zero entry in a counted block");
+                        }
+                        if m == 0 {
+                            return err("zero multiplicity in a counted block");
+                        }
+                        if prev.is_some_and(|p| p >= e) {
+                            return err("counted entries not strictly sorted");
+                        }
+                        prev = Some(e);
+                        total += u64::from(m);
+                    }
+                    if total < 2 {
+                        return err("counted block below the two-application threshold");
+                    }
+                }
             }
             if interned.insert(node.clone(), NodeId(ix as u32)).is_some() {
                 return err("duplicate node defeats hash-consing");
@@ -474,6 +541,128 @@ impl ExprArena {
         }
     }
 
+    /// A canonical counted `+I`/`+M` block over `head`: the multiset
+    /// `entries` of `(increment, multiplicity)` pairs applied on top of
+    /// `head` with `op`, condensed into a single [`Node::Counted`] node (or
+    /// collapsed to something smaller when the canonical invariants demand
+    /// it). This is the block-level smart constructor the rewrite rules
+    /// build through, the counted analogue of folding a sorted spine with
+    /// [`bin`](ExprArena::bin).
+    ///
+    /// Canonicalization performed here, so callers can pass any multiset:
+    ///
+    /// * zero entries and zero multiplicities are dropped (`x ⊕ 0 = x`),
+    /// * a same-operator head (spine [`Node::Bin`] or [`Node::Counted`]) is
+    ///   unpacked and merged into the entries — blocks are maximal,
+    /// * a `0` head promotes one occurrence of the smallest entry to head
+    ///   (`0 ⊕ e = e`, matching what folding a sorted spine over `0` does),
+    /// * entries are sorted by id and equal ids coalesced (multiplicities
+    ///   add, saturating — sound for axiom-satisfying structures, whose
+    ///   increment application is idempotent in the right operand),
+    /// * an empty multiset is `head`, a total multiplicity of 1 interns a
+    ///   plain [`Node::Bin`] (the sub-threshold canonical form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not `+I` or `+M` — counted blocks exist only for
+    /// the two increment operators.
+    pub fn counted(
+        &mut self,
+        op: BinOp,
+        head: NodeId,
+        entries: impl IntoIterator<Item = (NodeId, u32)>,
+    ) -> NodeId {
+        assert!(
+            matches!(op, BinOp::PlusI | BinOp::PlusM),
+            "counted blocks exist only for +I/+M"
+        );
+        let mut entries: Vec<(NodeId, u32)> = entries
+            .into_iter()
+            .filter(|&(e, m)| e != Self::ZERO && m > 0)
+            .collect();
+        let mut head = head;
+        loop {
+            match self.node(head) {
+                Node::Bin(o, a, b) if *o == op => {
+                    entries.push((*b, 1));
+                    head = *a;
+                }
+                Node::Counted(o, h, es) if *o == op => {
+                    let h = *h;
+                    // Clone the entry box: extending `entries` needs the
+                    // arena borrow released.
+                    let es = es.clone();
+                    entries.extend(es.iter().copied());
+                    head = h;
+                }
+                _ if head == Self::ZERO => {
+                    // `0 ⊕ e = e`: the smallest entry becomes the head (the
+                    // same head a sorted-spine fold over `0` ends up with).
+                    let Some(min_ix) = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(e, _))| e)
+                        .map(|(i, _)| i)
+                    else {
+                        return Self::ZERO;
+                    };
+                    head = entries[min_ix].0;
+                    if entries[min_ix].1 == 1 {
+                        entries.swap_remove(min_ix);
+                    } else {
+                        entries[min_ix].1 -= 1;
+                    }
+                    // The promoted head may itself be a same-op block:
+                    // keep unpacking.
+                }
+                _ => break,
+            }
+        }
+        entries.sort_unstable_by_key(|&(e, _)| e);
+        let mut merged: Vec<(NodeId, u32)> = Vec::with_capacity(entries.len());
+        for (e, m) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == e => last.1 = last.1.saturating_add(m),
+                _ => merged.push((e, m)),
+            }
+        }
+        let total: u64 = merged.iter().map(|&(_, m)| u64::from(m)).sum();
+        match total {
+            0 => head,
+            1 => self.intern(Node::Bin(op, head, merged[0].0)),
+            _ => self.intern(Node::Counted(op, head, merged.into_boxed_slice())),
+        }
+    }
+
+    /// Rewrites `root` into the fully **expanded** spine form: every
+    /// [`Node::Counted`] block is unfolded into the equivalent left-nested
+    /// sorted [`Node::Bin`] spine, bottom-up. The inverse direction of the
+    /// condensation the normalizer performs — used by the differential
+    /// property tests (counted and expanded forms must be eval- and
+    /// equivalence-identical) and by the node-count benchmarks quantifying
+    /// the condensation ratio.
+    ///
+    /// Cost is O(total multiplicity): expanding a block whose
+    /// multiplicities came from a saturating accumulation can be
+    /// astronomically larger than its counted form — that asymmetry is the
+    /// point of the representation.
+    pub fn expand_counted(&mut self, root: NodeId) -> NodeId {
+        let mut memo = DenseMemo::new();
+        self.rewrite_pass_in(root, &mut memo, &mut |ar, rebuilt| {
+            let Node::Counted(op, head, entries) = ar.node(rebuilt) else {
+                return rebuilt;
+            };
+            let (op, head, entries) = (*op, *head, entries.clone());
+            let mut acc = head;
+            for &(e, m) in entries.iter() {
+                for _ in 0..m {
+                    acc = ar.bin(op, acc, e);
+                }
+            }
+            acc
+        })
+    }
+
     /// Interns a legacy `Arc` expression, returning the id of its maximally
     /// shared image. Iterative (explicit work stack): safe on chains of any
     /// depth. Pointer-shared legacy subtrees are visited once; structurally
@@ -516,8 +705,12 @@ impl ExprArena {
 
     /// Rebuilds the legacy `Arc` representation of `root`. Lossless up to
     /// sharing: the result is a pointer-shared DAG with one `Arc` per
-    /// reachable arena node, and `import(export(id)) == id` (interning is
-    /// idempotent because interned nodes are already canonical).
+    /// reachable arena node, and `import(export(id)) == id` whenever `root`
+    /// contains no [`Node::Counted`] block (interning is idempotent because
+    /// interned nodes are already canonical). Counted blocks export as
+    /// their **expanded** spines — the legacy representation has no
+    /// condensed form — so re-importing yields the spine; normalizing it
+    /// recovers the condensed node.
     pub fn export(&self, root: NodeId) -> ExprRef {
         let reachable = self.reachable(root);
         let mut out: Vec<Option<ExprRef>> = vec![None; root.index() + 1];
@@ -534,6 +727,24 @@ impl ExprArena {
                 Node::Bin(BinOp::PlusM, a, b) => Expr::plus_m(take(a), take(b)),
                 Node::Bin(BinOp::DotM, a, b) => Expr::dot_m(take(a), take(b)),
                 Node::Sum(ts) => Expr::sum(ts.iter().map(take)),
+                // Counted blocks export as their expanded spine (the legacy
+                // representation has no condensed form), so re-importing an
+                // exported counted block yields the spine, not the original
+                // id — normalize to recover the condensed node.
+                Node::Counted(op, h, es) => {
+                    let mut acc = take(h);
+                    for (e, m) in es.iter() {
+                        let inc = take(e);
+                        for _ in 0..*m {
+                            acc = match op {
+                                BinOp::PlusI => Expr::plus_i(acc, inc.clone()),
+                                BinOp::PlusM => Expr::plus_m(acc, inc.clone()),
+                                _ => unreachable!("counted blocks are +I/+M"),
+                            };
+                        }
+                    }
+                    acc
+                }
             };
             out[i] = Some(e);
         }
@@ -557,6 +768,10 @@ impl ExprArena {
                     stack.push(*b);
                 }
                 Node::Sum(ts) => stack.extend_from_slice(ts),
+                Node::Counted(_, h, es) => {
+                    stack.push(*h);
+                    stack.extend(es.iter().map(|&(e, _)| e));
+                }
             }
         }
         marked
@@ -598,6 +813,20 @@ impl ExprArena {
                     ts.iter()
                         .fold(1u128, |acc, t| acc.saturating_add(logical[t.index()])),
                     1 + ts.iter().map(|t| depth[t.index()]).max().unwrap_or(0),
+                ),
+                // A counted block's logical size is its expansion's: each of
+                // the mᵢ applications of entry eᵢ adds one operator node
+                // plus one copy of eᵢ's tree.
+                Node::Counted(_, h, es) => (
+                    es.iter().fold(logical[h.index()], |acc, &(e, m)| {
+                        acc.saturating_add(
+                            logical[e.index()]
+                                .saturating_add(1)
+                                .saturating_mul(u128::from(m)),
+                        )
+                    }),
+                    1 + depth[h.index()]
+                        .max(es.iter().map(|&(e, _)| depth[e.index()]).max().unwrap_or(0)),
                 ),
             };
             logical[i] = l;
@@ -715,6 +944,7 @@ impl ExprArena {
                 Leaf,
                 Bin(BinOp, NodeId, NodeId),
                 Sum(Vec<NodeId>),
+                Counted(BinOp, NodeId, Vec<(NodeId, u32)>),
             }
             let plan = match self.node(id) {
                 Node::Zero | Node::Atom(_) => Plan::Leaf,
@@ -748,11 +978,37 @@ impl ExprArena {
                         .collect();
                     Plan::Sum(images)
                 }
+                Node::Counted(op, h, es) => {
+                    let mut pushed = false;
+                    if !memo.contains(*h) {
+                        stack.push(*h);
+                        pushed = true;
+                    }
+                    for (e, _) in es.iter() {
+                        if !memo.contains(*e) {
+                            stack.push(*e);
+                            pushed = true;
+                        }
+                    }
+                    if pushed {
+                        continue;
+                    }
+                    let hi = memo.get(*h).copied().expect("children computed");
+                    let images: Vec<(NodeId, u32)> = es
+                        .iter()
+                        .map(|&(e, m)| (memo.get(e).copied().expect("children computed"), m))
+                        .collect();
+                    Plan::Counted(*op, hi, images)
+                }
             };
             let rebuilt = match plan {
                 Plan::Leaf => id,
                 Plan::Bin(op, ia, ib) => self.bin(op, ia, ib),
                 Plan::Sum(images) => self.sum(images),
+                // Re-canonicalize through the counted constructor: child
+                // images may have become 0, merged onto one id, or turned
+                // the head into a same-op block.
+                Plan::Counted(op, hi, images) => self.counted(op, hi, images),
             };
             let image = step(self, id, rebuilt);
             memo.set(id, image);
@@ -863,6 +1119,13 @@ impl ExprArena {
                     stack.push(*a);
                 }
                 Node::Sum(ts) => stack.extend(ts.iter().rev()),
+                // Expanded-spine preorder: head first, then entries
+                // left-to-right (multiplicity does not affect first
+                // occurrence).
+                Node::Counted(_, h, es) => {
+                    stack.extend(es.iter().rev().map(|&(e, _)| e));
+                    stack.push(*h);
+                }
             }
         }
         out

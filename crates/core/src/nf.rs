@@ -89,7 +89,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::arena::{BinOp, DenseMemo, ExprArena, Node, NodeId};
+use crate::arena::{is_same_op_block, BinOp, DenseMemo, ExprArena, Node, NodeId};
 use crate::fxhash::FxBuildHasher;
 use crate::rewrite::reduce;
 
@@ -718,7 +718,10 @@ fn nf_roots_driver(
     // more than it saves on the incremental fast path.)
     let top_fixpoints: std::cell::RefCell<HashSet<NodeId, FxBuildHasher>> = Default::default();
     let is_block_top = |ar: &ExprArena, id: NodeId| {
-        matches!(ar.node(id), Node::Bin(BinOp::PlusI | BinOp::PlusM, ..))
+        matches!(
+            ar.node(id),
+            Node::Bin(BinOp::PlusI | BinOp::PlusM, ..) | Node::Counted(..)
+        )
     };
     for round in 0..max_rounds {
         let len = out.iter().map(|o| o.id.index() + 1).max().unwrap_or(0);
@@ -838,7 +841,10 @@ fn mark_spine_interiors_into(
             Node::Zero | Node::Atom(_) => {}
             Node::Bin(op, a, b) => {
                 if let op @ (BinOp::PlusI | BinOp::PlusM) = *op {
-                    if matches!(*arena.node(*a), Node::Bin(o, ..) if o == op) {
+                    // A left child continuing the block — binary spine link
+                    // or an already-condensed counted node — is interior:
+                    // the top's rule pass decomposes through it wholesale.
+                    if is_same_op_block(arena.node(*a), op) {
                         let abits = flags.get(*a).copied().unwrap_or(0);
                         let bit = if op == BinOp::PlusI {
                             INTERIOR_I
@@ -850,6 +856,13 @@ fn mark_spine_interiors_into(
                 }
                 stack.push(*a);
                 stack.push(*b);
+            }
+            // A counted head is never same-op (canonicity invariant), and
+            // entries are opaque increments reduced at their own tops — no
+            // interior marks to set, just the traversal.
+            Node::Counted(_, h, es) => {
+                stack.push(*h);
+                stack.extend(es.iter().map(|&(e, _)| e));
             }
             Node::Sum(ts) => stack.extend_from_slice(ts),
         }
@@ -868,8 +881,8 @@ fn skips_reduction(
     rebuilt: NodeId,
 ) -> bool {
     let bit = match arena.node(rebuilt) {
-        Node::Bin(BinOp::PlusI, ..) => INTERIOR_I,
-        Node::Bin(BinOp::PlusM, ..) => INTERIOR_M,
+        Node::Bin(BinOp::PlusI, ..) | Node::Counted(BinOp::PlusI, ..) => INTERIOR_I,
+        Node::Bin(BinOp::PlusM, ..) | Node::Counted(BinOp::PlusM, ..) => INTERIOR_M,
         _ => return false,
     };
     flags.get(orig).copied().unwrap_or(0) & bit != 0
@@ -1049,9 +1062,10 @@ mod tests {
     }
 
     #[test]
-    fn long_unsorted_block_normalizes_to_sorted_spine() {
-        // Fold 64 ·M increments over a head in reverse id order; the normal
-        // form must be the forward (sorted) spine, found block-once.
+    fn long_unsorted_block_normalizes_to_one_counted_node() {
+        // Fold 64 ·M increments over a head in both build orders; the
+        // normal form must be one counted block over the sorted increment
+        // multiset (found block-once), identical for both orders.
         let (mut t, mut ar) = setup();
         let h = ar.atom(t.fresh_tuple());
         let incs: Vec<NodeId> = (0..64)
@@ -1064,8 +1078,36 @@ mod tests {
         let fwd = incs.iter().fold(h, |acc, &m| ar.plus_m(acc, m));
         let rev = incs.iter().rev().fold(h, |acc, &m| ar.plus_m(acc, m));
         assert_ne!(fwd, rev);
-        assert_eq!(nf(&mut ar, rev), fwd, "fwd is already canonical");
-        assert_eq!(nf(&mut ar, fwd), fwd);
+        let n = nf(&mut ar, rev);
+        assert_eq!(nf(&mut ar, fwd), n, "build order is erased");
+        assert_eq!(nf(&mut ar, n), n, "nf is idempotent");
+        match ar.node(n) {
+            Node::Counted(BinOp::PlusM, head, es) => {
+                assert_eq!(*head, h);
+                assert_eq!(es.len(), 64);
+                assert!(es.iter().all(|&(_, m)| m == 1));
+            }
+            other => panic!("expected a counted +M block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_increments_coalesce_into_multiplicities() {
+        // The same transaction inserting one tuple 100 times normalizes to
+        // a single counted entry with multiplicity 100 — O(distinct atoms)
+        // nodes, not O(applications).
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let p = ar.atom(t.fresh_txn());
+        let spine = (0..100).fold(a, |acc, _| ar.plus_i(acc, p));
+        let n = nf(&mut ar, spine);
+        match ar.node(n) {
+            Node::Counted(BinOp::PlusI, head, es) => {
+                assert_eq!(*head, a);
+                assert_eq!(&es[..], &[(p, 100)]);
+            }
+            other => panic!("expected a counted +I block, got {other:?}"),
+        }
     }
 
     #[test]

@@ -17,12 +17,14 @@
 //! # Orientation of the twelve axioms
 //!
 //! Every axiom is oriented left→right **toward the structurally smaller or
-//! more canonical side**, so rewriting terminates. `+I` and `+M` spines are
-//! kept flat in *sorted multiset spine form* (`((h ⊕ m₁) ⊕ m₂) ⊕ …` with
-//! `m₁ ≤ m₂ ≤ …` by [`NodeId`]), which makes
-//! commutativity/associativity of increments canonical rather than a search
-//! problem. In the table below, "block" means the maximal spine of one
-//! operator, and all rules act modulo that AC reading (see *AC extension*
+//! more canonical side**, so rewriting terminates. Maximal `+I` and `+M`
+//! blocks are kept in *counted form* ([`Node::Counted`]: one node holding
+//! the head plus a sorted multiset of `(increment, multiplicity)` entries),
+//! which makes commutativity/associativity of increments canonical rather
+//! than a search problem and keeps block size O(distinct increments)
+//! rather than O(applications). In the table below, "block" means the
+//! maximal run of one operator (binary spine links and counted nodes
+//! alike), and all rules act modulo that AC reading (see *AC extension*
 //! below).
 //!
 //! | Axiom | Equation (paper notation) | Directed rule |
@@ -72,11 +74,12 @@
 //! [`MOD_OF_INSERTED`]), strictly reduces the nesting of `·M`-under-`+M`
 //! structure ([`MOD_UNNEST`]) or the number of `Σ` nodes under `·M`
 //! increments ([`MOD_SPLIT_SUM`]) without increasing the rest, or strictly
-//! reduces the number of spine inversions ([`AC_PLUS_I`], [`AC_PLUS_M`],
-//! [`AC_SUM`]) while leaving size untouched — a lexicographic measure no
-//! rule increases and each rule decreases.
+//! reduces the number of uncondensed spine links ([`AC_PLUS_I`],
+//! [`AC_PLUS_M`]) or `Σ`-term inversions ([`AC_SUM`]) while leaving the
+//! multiset of increments untouched — a lexicographic measure no rule
+//! increases and each rule decreases.
 
-use crate::arena::{BinOp, ExprArena, Node, NodeId};
+use crate::arena::{is_same_op_block, BinOp, ExprArena, Node, NodeId};
 use crate::axioms::{axiom_info, AxiomInfo};
 
 /// One directed rewrite rule: a top-level pattern over an arena node,
@@ -136,9 +139,9 @@ pub static MINUS_ABSORBS_INSERT: RewriteRule = RewriteRule {
         };
         let (head, mut incs) = block(arena, BinOp::PlusI, a);
         let before = incs.len();
-        incs.retain(|&m| m != b);
+        incs.retain(|&(m, _)| m != b);
         (incs.len() < before).then(|| {
-            let lhs = build_spine(arena, BinOp::PlusI, head, incs);
+            let lhs = build_block(arena, BinOp::PlusI, head, incs);
             arena.minus(lhs, b)
         })
     },
@@ -156,9 +159,9 @@ pub static MINUS_ABSORBS_MOD: RewriteRule = RewriteRule {
         };
         let (head, mut incs) = block(arena, BinOp::PlusM, a);
         let before = incs.len();
-        incs.retain(|&m| dot_query(arena, m) != Some(c));
+        incs.retain(|&(m, _)| dot_query(arena, m) != Some(c));
         (incs.len() < before).then(|| {
-            let lhs = build_spine(arena, BinOp::PlusM, head, incs);
+            let lhs = build_block(arena, BinOp::PlusM, head, incs);
             arena.minus(lhs, c)
         })
     },
@@ -173,15 +176,16 @@ pub static INSERT_ABSORBS_DELETE: RewriteRule = RewriteRule {
     name: "insert-absorbs-delete",
     axioms: &[10],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusI, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusI) {
             return None;
         }
         let (head, incs) = block(arena, BinOp::PlusI, id);
         let Node::Bin(BinOp::Minus, x, c) = *arena.node(head) else {
             return None;
         };
-        incs.contains(&c)
-            .then(|| build_spine(arena, BinOp::PlusI, x, incs))
+        incs.iter()
+            .any(|&(m, _)| m == c)
+            .then(|| build_block(arena, BinOp::PlusI, x, incs))
     },
 };
 
@@ -195,19 +199,19 @@ pub static INSERT_ABSORBS_MOD: RewriteRule = RewriteRule {
     name: "insert-absorbs-mod",
     axioms: &[9],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusI, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusI) {
             return None;
         }
         let (head, i_incs) = block(arena, BinOp::PlusI, id);
         let (base, mut m_incs) = block(arena, BinOp::PlusM, head);
         let before = m_incs.len();
-        m_incs.retain(|&m| match dot_query(arena, m) {
-            Some(c) => !i_incs.contains(&c),
+        m_incs.retain(|&(m, _)| match dot_query(arena, m) {
+            Some(c) => !i_incs.iter().any(|&(e, _)| e == c),
             None => true,
         });
         (m_incs.len() < before).then(|| {
-            let new_head = build_spine(arena, BinOp::PlusM, base, m_incs);
-            build_spine(arena, BinOp::PlusI, new_head, i_incs)
+            let new_head = build_block(arena, BinOp::PlusM, base, m_incs);
+            build_block(arena, BinOp::PlusI, new_head, i_incs)
         })
     },
 };
@@ -220,7 +224,7 @@ pub static MOD_AFTER_INSERT: RewriteRule = RewriteRule {
     name: "mod-after-insert",
     axioms: &[6, 9],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusM) {
             return None;
         }
         let (head, mut incs) = block(arena, BinOp::PlusM, id);
@@ -229,39 +233,53 @@ pub static MOD_AFTER_INSERT: RewriteRule = RewriteRule {
             return None;
         }
         let before = incs.len();
-        incs.retain(|&m| match dot_query(arena, m) {
-            Some(c) => !i_incs.contains(&c),
+        incs.retain(|&(m, _)| match dot_query(arena, m) {
+            Some(c) => !i_incs.iter().any(|&(e, _)| e == c),
             None => true,
         });
-        (incs.len() < before).then(|| build_spine(arena, BinOp::PlusM, head, incs))
+        (incs.len() < before).then(|| build_block(arena, BinOp::PlusM, head, incs))
     },
 };
 
-/// Axiom 8 (+ 6, 9, AC): `a +M ((x +I c) ·M c) → a +I c` — modifying by a
-/// query whose own `+I` block already inserts `c` collapses the whole
-/// increment to that insertion (axiom 8 rewrites it to
+/// Axiom 8 (+ 6, 9, AC): `a +M ((x +I c) ·M c) → (a +I c)` — modifying by
+/// a query whose own `+I` block already inserts `c` collapses the whole
+/// increment to an insertion on the block *head* (axiom 8 rewrites it to
 /// `(a +I c) +M (x ·M c)`, which [`MOD_AFTER_INSERT`] then absorbs).
+/// Entries of the block other than the collapsing one stay **above** the
+/// new insertion: no axiom commutes `+I c` past a `+M` increment with a
+/// different query annotation, and keeping the `+M` block at the surface
+/// is what lets a later `− c'` still absorb its entries.
 pub static MOD_OF_INSERTED: RewriteRule = RewriteRule {
     name: "mod-of-inserted",
     axioms: &[8, 6, 9],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusM) {
             return None;
         }
         let (head, mut incs) = block(arena, BinOp::PlusM, id);
-        let pos = incs.iter().position(|&m| {
+        let pos = incs.iter().position(|&(m, _)| {
             dot_query(arena, m).is_some_and(|c| {
                 let Node::Bin(BinOp::DotM, e, _) = *arena.node(m) else {
                     unreachable!("dot_query matched");
                 };
                 let (_, e_incs) = block(arena, BinOp::PlusI, e);
-                e_incs.contains(&c)
+                e_incs.iter().any(|&(ei, _)| ei == c)
             })
         })?;
-        let m = incs.remove(pos);
+        // The whole counted entry collapses, multiplicity and all: AC
+        // floats one occurrence down to the head, axiom 8 turns it into
+        // `(head +I c) +M (x ·M c)`, and MOD_AFTER_INSERT absorbs the
+        // leftover along with the remaining occurrences — so batching them
+        // away here matches the sequential derivation. The insertion lands
+        // on the *head*, below the surviving `+M` entries: hoisting it
+        // above them would commute `+I c` past increments with foreign
+        // query annotations, which no axiom licenses — and would bury
+        // those entries where the `− c'` absorption rules above the block
+        // can no longer see them.
+        let (m, _) = incs.remove(pos);
         let c = dot_query(arena, m).expect("position matched");
-        let lhs = build_spine(arena, BinOp::PlusM, head, incs);
-        Some(arena.plus_i(lhs, c))
+        let new_head = arena.plus_i(head, c);
+        Some(build_block(arena, BinOp::PlusM, new_head, incs))
     },
 };
 
@@ -273,18 +291,18 @@ pub static MOD_OF_DELETED: RewriteRule = RewriteRule {
     name: "mod-of-deleted",
     axioms: &[5],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusM) {
             return None;
         }
         let (head, mut incs) = block(arena, BinOp::PlusM, id);
         let before = incs.len();
-        incs.retain(|&m| {
+        incs.retain(|&(m, _)| {
             let Node::Bin(BinOp::DotM, e, c) = *arena.node(m) else {
                 return true;
             };
             !matches!(*arena.node(e), Node::Bin(BinOp::Minus, _, c2) if c2 == c)
         });
-        (incs.len() < before).then(|| build_spine(arena, BinOp::PlusM, head, incs))
+        (incs.len() < before).then(|| build_block(arena, BinOp::PlusM, head, incs))
     },
 };
 
@@ -298,28 +316,39 @@ pub static MOD_UNNEST: RewriteRule = RewriteRule {
     name: "mod-unnest",
     axioms: &[3, 1],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusM) {
             return None;
         }
-        let (head, mut incs) = block(arena, BinOp::PlusM, id);
-        for i in 0..incs.len() {
-            let Node::Bin(BinOp::DotM, e, c) = *arena.node(incs[i]) else {
+        let (head, incs) = block(arena, BinOp::PlusM, id);
+        // Hoist every same-query nested increment across every entry in one
+        // application — per-hoist rebuilds would re-canonicalize the whole
+        // block once per nested increment. An outer entry of multiplicity
+        // `k` contributes its inner `(mₑ, j)` hoists `j·k` times: each of
+        // the `k` outer occurrences unnests independently.
+        let mut out: Vec<(NodeId, u32)> = Vec::with_capacity(incs.len());
+        let mut hoisted_any = false;
+        for &(m, k) in &incs {
+            let Node::Bin(BinOp::DotM, e, c) = *arena.node(m) else {
+                out.push((m, k));
                 continue;
             };
-            let (e_head, mut e_incs) = block(arena, BinOp::PlusM, e);
-            let Some(pos) = e_incs
-                .iter()
-                .position(|&me| dot_query(arena, me) == Some(c))
-            else {
+            let (e_head, e_incs) = block(arena, BinOp::PlusM, e);
+            let (hoist, keep): (Entries, Entries) = e_incs
+                .into_iter()
+                .partition(|&(me, _)| dot_query(arena, me) == Some(c));
+            if hoist.is_empty() {
+                out.push((m, k));
                 continue;
-            };
-            let hoisted = e_incs.remove(pos);
-            let e_rest = build_spine(arena, BinOp::PlusM, e_head, e_incs);
-            incs[i] = arena.dot_m(e_rest, c);
-            incs.push(hoisted);
-            return Some(build_spine(arena, BinOp::PlusM, head, incs));
+            }
+            hoisted_any = true;
+            for (me, j) in hoist {
+                out.push((me, j.saturating_mul(k)));
+            }
+            let e_rest = build_block(arena, BinOp::PlusM, e_head, keep);
+            let dot = arena.dot_m(e_rest, c);
+            out.push((dot, k));
         }
-        None
+        hoisted_any.then(|| build_block(arena, BinOp::PlusM, head, out))
     },
 };
 
@@ -330,7 +359,7 @@ pub static MOD_SPLIT_SUM: RewriteRule = RewriteRule {
     name: "mod-split-sum",
     axioms: &[11],
     apply: |arena, id| {
-        if !matches!(arena.node(id), Node::Bin(BinOp::PlusM, ..)) {
+        if !is_same_op_block(arena.node(id), BinOp::PlusM) {
             return None;
         }
         let (head, incs) = block(arena, BinOp::PlusM, id);
@@ -338,18 +367,20 @@ pub static MOD_SPLIT_SUM: RewriteRule = RewriteRule {
             matches!(*arena.node(m), Node::Bin(BinOp::DotM, e, _)
                 if matches!(arena.node(e), Node::Sum(_)))
         };
-        if !incs.iter().any(|&m| is_sum_dot(arena, m)) {
+        if !incs.iter().any(|&(m, _)| is_sum_dot(arena, m)) {
             return None;
         }
         // Split every Σ-sourced increment in one application. `reduce`
         // saturates the rule table at the block top, so splitting one Σ per
-        // application would re-decompose and re-intern the whole spine per
-        // Σ-increment — O(block²) time *and* interned garbage on log-replay
-        // spines, where every multi-source `modify` contributes one.
+        // application would re-decompose and re-canonicalize the whole
+        // block per Σ-increment — O(block²) time *and* interned garbage on
+        // log-replay spines, where every multi-source `modify` contributes
+        // one. Each summand inherits the outer multiplicity: all `k`
+        // occurrences of `(Σᵢ bᵢ) ·M c` split identically.
         let mut split = Vec::with_capacity(incs.len());
-        for m in incs {
+        for (m, k) in incs {
             if !is_sum_dot(arena, m) {
-                split.push(m);
+                split.push((m, k));
                 continue;
             }
             let Node::Bin(BinOp::DotM, e, c) = *arena.node(m) else {
@@ -360,29 +391,30 @@ pub static MOD_SPLIT_SUM: RewriteRule = RewriteRule {
             };
             for t in ts.iter() {
                 let dot = arena.dot_m(*t, c);
-                split.push(dot);
+                split.push((dot, k));
             }
         }
-        Some(build_spine(arena, BinOp::PlusM, head, split))
+        Some(build_block(arena, BinOp::PlusM, head, split))
     },
 };
 
-/// AC ordering of `+I` blocks (the AC extension; Figure 3 has no `+I`
-/// permutation axiom, but every catalogue structure interprets `+I`
-/// commutatively — see the module docs).
+/// AC canonicalization of `+I` blocks into counted form (the AC extension;
+/// Figure 3 has no `+I` permutation axiom, but every catalogue structure
+/// interprets `+I` commutatively — see the module docs).
 pub static AC_PLUS_I: RewriteRule = RewriteRule {
     name: "ac-plus-i",
     axioms: &[],
-    apply: |arena, id| sort_block(arena, BinOp::PlusI, id),
+    apply: |arena, id| condense_block(arena, BinOp::PlusI, id),
 };
 
-/// Axiom 1 (+ AC extension): sorted ordering of `+M` blocks. Axiom 1
-/// licenses swapping increments that share a query annotation; sorting the
-/// whole block by [`NodeId`] additionally commutes unrelated increments.
+/// Axiom 1 (+ AC extension): canonical counted form of `+M` blocks.
+/// Axiom 1 licenses swapping increments that share a query annotation; the
+/// counted multiset (sorted by [`NodeId`], coalesced into multiplicities)
+/// additionally commutes unrelated increments.
 pub static AC_PLUS_M: RewriteRule = RewriteRule {
     name: "ac-plus-m",
     axioms: &[1],
-    apply: |arena, id| sort_block(arena, BinOp::PlusM, id),
+    apply: |arena, id| condense_block(arena, BinOp::PlusM, id),
 };
 
 /// Canonical ordering of `Σ` terms: the paper's `Σ` ranges over a *set* of
@@ -451,29 +483,42 @@ pub fn reduce(arena: &mut ExprArena, id: NodeId) -> NodeId {
     cur
 }
 
-/// Decomposes the maximal `op` spine at `id` into `(head, increments)`,
-/// increments in bottom-to-top order. A node that is not an `op` node is its
-/// own head with no increments.
-fn block(arena: &ExprArena, op: BinOp, id: NodeId) -> (NodeId, Vec<NodeId>) {
-    let mut incs = Vec::new();
+/// Counted `(increment, multiplicity)` entries of a `+I`/`+M` block.
+type Entries = Vec<(NodeId, u32)>;
+
+/// Decomposes the maximal `op` block at `id` into `(head, counted
+/// increments)`. The walk descends through both binary spine links and
+/// [`Node::Counted`] blocks of the same operator — an appended
+/// `Bin(op, counted_block, m)` decomposes just like a plain spine. A node
+/// that is neither is its own head with no increments. Increment order is
+/// irrelevant to callers ([`build_block`] re-canonicalizes), but entries of
+/// a single counted node keep their sorted order.
+fn block(arena: &ExprArena, op: BinOp, id: NodeId) -> (NodeId, Vec<(NodeId, u32)>) {
+    let mut incs: Vec<(NodeId, u32)> = Vec::new();
     let mut cur = id;
-    while let Node::Bin(o, a, b) = *arena.node(cur) {
-        if o != op {
-            break;
+    loop {
+        match arena.node(cur) {
+            Node::Bin(o, a, b) if *o == op => {
+                incs.push((*b, 1));
+                cur = *a;
+            }
+            Node::Counted(o, h, es) if *o == op => {
+                incs.extend(es.iter().copied());
+                cur = *h;
+            }
+            _ => break,
         }
-        incs.push(b);
-        cur = a;
     }
     incs.reverse();
     (cur, incs)
 }
 
-/// Rebuilds a canonical (sorted) `op` spine over `head`. Increments come
-/// from existing interned nodes, so they are never `0` and the smart
-/// constructor reduces to plain interning.
-fn build_spine(arena: &mut ExprArena, op: BinOp, head: NodeId, mut incs: Vec<NodeId>) -> NodeId {
-    incs.sort_unstable();
-    incs.into_iter().fold(head, |acc, m| arena.bin(op, acc, m))
+/// Rebuilds a canonical counted `op` block over `head` — sorting,
+/// coalescing, and threshold dispatch all live in
+/// [`ExprArena::counted`]. Increments come from existing interned nodes,
+/// so they are never `0`.
+fn build_block(arena: &mut ExprArena, op: BinOp, head: NodeId, incs: Vec<(NodeId, u32)>) -> NodeId {
+    arena.counted(op, head, incs)
 }
 
 /// If `id` is `x ·M c`, returns `c` (the query annotation keying the
@@ -485,19 +530,23 @@ fn dot_query(arena: &ExprArena, id: NodeId) -> Option<NodeId> {
     }
 }
 
-/// Reorders an unsorted `op` block into sorted spine form.
-fn sort_block(arena: &mut ExprArena, op: BinOp, id: NodeId) -> Option<NodeId> {
-    let Node::Bin(o, ..) = *arena.node(id) else {
+/// Condenses a multi-increment `op` spine into counted-block form.
+/// [`Node::Counted`] nodes are canonical by construction, and a
+/// `Bin(op, head, m)` whose head does not continue the block is already
+/// the canonical single-increment form, so the rule fires exactly when the
+/// left child is itself an `op` block (a spine link left behind by an
+/// append or a rule rebuild).
+fn condense_block(arena: &mut ExprArena, op: BinOp, id: NodeId) -> Option<NodeId> {
+    let Node::Bin(o, a, _) = *arena.node(id) else {
         return None;
     };
-    if o != op {
+    if o != op || !is_same_op_block(arena.node(a), op) {
         return None;
     }
     let (head, incs) = block(arena, op, id);
-    if incs.is_sorted() {
-        return None;
-    }
-    Some(build_spine(arena, op, head, incs))
+    // Total multiplicity is ≥ 2 here, so the rebuild is a Counted node and
+    // never re-interns the matched Bin — progress is guaranteed.
+    Some(build_block(arena, op, head, incs))
 }
 
 #[cfg(test)]
@@ -571,6 +620,39 @@ mod tests {
         let dot = ar.dot_m(x, c);
         let e = ar.plus_m(ins, dot);
         assert_eq!(reduce(&mut ar, e), ins);
+    }
+
+    #[test]
+    fn mod_of_inserted_keeps_foreign_increments_at_the_surface() {
+        // a +M ((x +I c) ·M c) +M (z ·M c') must collapse the inserted-
+        // source entry onto the *head* — (a +I c) +M (z ·M c') — not hoist
+        // `+I c` above the foreign `c'` increment: `+I c` does not commute
+        // past `·M c'` increments, and burying them under the insertion
+        // hides them from a later `− c'` (axiom 2), splitting one
+        // equivalence class across two "normal" forms. Found by the
+        // variant-transitivity fuzzer: a dead `modify D <- D; delete D`
+        // pair stopped cancelling whenever the same `+M` block also
+        // carried an inserted-source increment from an earlier query.
+        let (mut t, mut ar) = setup();
+        let a = ar.atom(t.fresh_tuple());
+        let x = ar.atom(t.fresh_tuple());
+        let z = ar.atom(t.fresh_tuple());
+        let c = ar.atom(t.fresh_txn());
+        let c2 = ar.atom(t.fresh_txn());
+        let ins_src = ar.plus_i(x, c);
+        let dot_c = ar.dot_m(ins_src, c);
+        let dot_c2 = ar.dot_m(z, c2);
+        let spine = ar.plus_m(a, dot_c);
+        let e = ar.plus_m(spine, dot_c2);
+        let reduced = reduce(&mut ar, e);
+        let want_head = ar.plus_i(a, c);
+        let want = ar.plus_m(want_head, dot_c2);
+        assert_eq!(reduced, want);
+        // …and the later `− c'` can therefore still absorb the foreign
+        // increment (the full critical pair, through `nf`).
+        let del = ar.minus(e, c2);
+        let want_del = ar.minus(want_head, c2);
+        assert_eq!(crate::nf::nf(&mut ar, del), want_del);
     }
 
     #[test]

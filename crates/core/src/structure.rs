@@ -97,6 +97,29 @@ pub trait UpdateStructure: Sync {
             BinOp::DotM => self.dot_m(a, b),
         }
     }
+
+    /// Applies `op` with right operand `x` onto `acc`, `mult` times — the
+    /// concrete semantics of one counted-block entry
+    /// ([`crate::arena::Node::Counted`]). The default iterates: the axioms
+    /// promise nothing about repeated application of one increment, so the
+    /// only universally sound reading is the expanded one. Structures whose
+    /// `+I`/`+M` are idempotent in the right operand (`(a ⊕ b) ⊕ b =
+    /// a ⊕ b` — true of every Boolean-algebra carrier in the catalogue)
+    /// should override with a single application, making counted-entry
+    /// folding O(1) per *distinct* increment regardless of multiplicity.
+    fn apply_bin_counted(
+        &self,
+        op: BinOp,
+        acc: &Self::Value,
+        x: &Self::Value,
+        mult: u32,
+    ) -> Self::Value {
+        let mut v = acc.clone();
+        for _ in 0..mult {
+            v = self.apply_bin(op, &v, x);
+        }
+        v
+    }
 }
 
 /// An assignment of concrete values to atoms, used to specialize symbolic
@@ -358,6 +381,28 @@ pub(crate) fn eval_fill<S: UpdateStructure, M: EvalMemo<S::Value>>(
                     }
                 }
             }
+            Node::Counted(op, h, es) => {
+                let mut pushed = false;
+                if !memo.contains(*h) {
+                    stack.push(*h);
+                    pushed = true;
+                }
+                for &(e, _) in es.iter() {
+                    if !memo.contains(e) {
+                        stack.push(e);
+                        pushed = true;
+                    }
+                }
+                if pushed {
+                    continue;
+                }
+                let mut acc = memo.get(*h).expect("children computed").clone();
+                for &(e, m) in es.iter() {
+                    let ve = memo.get(e).expect("children computed");
+                    acc = s.apply_bin_counted(*op, &acc, ve, m);
+                }
+                acc
+            }
             Node::Sum(ts) => {
                 let mut pushed = false;
                 for t in ts.iter() {
@@ -497,6 +542,14 @@ pub(crate) fn eval_one_ordered<S: UpdateStructure, M: EvalMemo<S::Value>>(
                     memo.get(*b).expect("topological order"),
                 );
                 s.apply_bin(*op, va, vb)
+            }
+            Node::Counted(op, h, es) => {
+                let mut acc = memo.get(*h).expect("topological order").clone();
+                for &(e, m) in es.iter() {
+                    let ve = memo.get(e).expect("topological order");
+                    acc = s.apply_bin_counted(*op, &acc, ve, m);
+                }
+                acc
             }
             Node::Sum(ts) => s.sum(ts.iter().map(|t| memo.get(*t).expect("topological order"))),
         };

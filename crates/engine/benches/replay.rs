@@ -340,5 +340,55 @@ fn main() {
         eprintln!("  (guard skipped: {cores} core(s) < 4 — speedup floor needs real parallelism)");
     }
 
+    // --- Condensed normal forms (the counted-block representation): one
+    //     transaction alternating `insert a` / `insert b` 10 000 times.
+    //     Expanded, each tuple's NF is a 5 000-increment +I spine; counted,
+    //     it is a single block node with one entry of multiplicity 5 000 —
+    //     O(distinct atoms), not O(updates). The metric guard fails CI if
+    //     the condensed form drops below 10x smaller than the expanded one
+    //     (it should sit around three orders of magnitude). ---
+    let mut pp_text = String::from("begin p0\n");
+    for i in 0..10_000 {
+        pp_text.push_str(if i % 2 == 0 {
+            "insert a\n"
+        } else {
+            "insert b\n"
+        });
+    }
+    pp_text.push_str("commit\n");
+    let pp_log: UpdateLog = pp_text.parse().expect("valid");
+    let mut pp_engine = Engine::new();
+    let mut pp_state = pp_engine.replay(&pp_log).expect("replays");
+    assert_eq!(pp_state.update_count(), 10_000);
+    h.bench_full("engine/replay/pingpong10k", || {
+        let mut e = Engine::new();
+        black_box(e.replay(black_box(&pp_log)).expect("replays"));
+    });
+    let cert = pp_engine.certify(&mut pp_state);
+    assert_eq!(cert.certified, 2, "two tuples, both normalized");
+    let nf_a = pp_state.certified_nf("a").expect("certified");
+    let nf_b = pp_state.certified_nf("b").expect("certified");
+    let counted_nodes = pp_engine.arena().dag_size(nf_a) + pp_engine.arena().dag_size(nf_b);
+    let mut expand_arena = pp_engine.arena().clone();
+    let exp_a = expand_arena.expand_counted(nf_a);
+    let exp_b = expand_arena.expand_counted(nf_b);
+    let expanded_nodes = expand_arena.dag_size(exp_a) + expand_arena.dag_size(exp_b);
+    h.metric(
+        "nf/pingpong10k/counted_nodes",
+        counted_nodes as f64,
+        "nodes",
+    );
+    h.metric(
+        "nf/pingpong10k/expanded_nodes",
+        expanded_nodes as f64,
+        "nodes",
+    );
+    h.guard_metric_ratio(
+        "nf_condensed/pingpong10k",
+        "nf/pingpong10k/expanded_nodes",
+        "nf/pingpong10k/counted_nodes",
+        10.0,
+    );
+
     h.finish();
 }

@@ -7,14 +7,16 @@
 //! `BENCH_pr6_storage.json`).
 //!
 //! The [`benchkit`] `guard_speedup` floor fails the bench (and CI) if
-//! recovery drops below 5× over the textual cold boot — the point of
+//! recovery drops below 4× over the textual cold boot — the point of
 //! checkpointing: a snapshot is a linear bulk rebuild of the
 //! already-reduced arena, so restart cost tracks the *tail length*, not
-//! the history length. Two recovery points are measured to make that
+//! the history length. (The floor was 5× before condensed normal forms
+//! sped up the cold boot's certify step — the baseline improved, so the
+//! tuned ratio shrank.) Two recovery points are measured to make that
 //! scaling visible instead of baking it into one tuned number:
 //!
 //! * `recover_10k` — a recent checkpoint, 25 single-transaction WAL
-//!   records behind (the natural per-append granularity). Guarded ≥ 5×.
+//!   records behind (the natural per-append granularity). Guarded ≥ 4×.
 //! * `recover_10k_stale_tail` — a stale checkpoint, 100 transactions
 //!   behind in 10 batch records. Unguarded: it exists to show the
 //!   tail-proportional term (replay + incremental certify of the tail)
@@ -22,7 +24,7 @@
 
 use benchkit::{black_box, Harness};
 use uprov_engine::{Engine, UpdateLog};
-use uprov_storage::{DurableEngine, MemStorage};
+use uprov_storage::{DurableEngine, MemStorage, Storage};
 
 /// One transaction block of the synthetic replay-shaped workload (same
 /// shape as the engine bench's `synthetic_log`): insert a fresh tuple,
@@ -108,7 +110,55 @@ fn main() {
         "storage/recover_vs_cold_boot",
         "storage/cold_boot_10k",
         "storage/recover_10k",
-        5.0,
+        4.0,
     );
+
+    // --- Snapshot size metrics: how many bytes a checkpoint costs on
+    //     disk. The synthetic 10k log is the throughput workload above;
+    //     the ping-pong log (one transaction alternating two inserts
+    //     10 000 times) is the condensed-NF showcase — its certified
+    //     normal forms are single counted-block nodes, so the certified
+    //     overlay adds a fixed few dozen bytes to the dump instead of a
+    //     second copy of the history. ---
+    h.metric(
+        "storage/snapshot_bytes/10k_synthetic",
+        fresh
+            .len(uprov_storage::SNAPSHOT_BLOB)
+            .expect("mem storage")
+            .expect("checkpointed") as f64,
+        "bytes",
+    );
+    let mut pp_text = String::from("begin p0\n");
+    for i in 0..10_000 {
+        pp_text.push_str(if i % 2 == 0 {
+            "insert a\n"
+        } else {
+            "insert b\n"
+        });
+    }
+    pp_text.push_str("commit\n");
+    let pp_log: UpdateLog = pp_text.parse().expect("valid");
+    let snapshot_bytes = |certify: bool| {
+        let (mut db, _) = DurableEngine::open(MemStorage::new()).expect("fresh open");
+        db.append(&pp_log).expect("applies");
+        if certify {
+            db.certify();
+        }
+        db.snapshot().expect("checkpoint");
+        let storage = db.into_storage();
+        storage
+            .len(uprov_storage::SNAPSHOT_BLOB)
+            .expect("mem storage")
+            .expect("checkpointed") as f64
+    };
+    let raw = snapshot_bytes(false);
+    let certified = snapshot_bytes(true);
+    h.metric("storage/snapshot_bytes/pingpong10k_raw", raw, "bytes");
+    h.metric(
+        "storage/snapshot_bytes/pingpong10k_certified",
+        certified,
+        "bytes",
+    );
+
     h.finish();
 }

@@ -6,13 +6,16 @@
 //!
 //! ```text
 //! "UPSNAP01"            8-byte magic
-//! version: u32 LE       currently 1
+//! version: u32 LE       currently 2 (counted-block node kind)
 //! payload_len: u64 LE
 //! payload_crc: u32 LE   CRC-32 of the payload bytes
 //! payload:
 //!   wal_seq: u64                      appends already folded in
 //!   atoms:   count, then per atom kind u8 + name
 //!   arena:   node count, then per node (ids 1…) a tagged encoding
+//!            (atom / bin / sum / counted block — a counted block stores
+//!            its operator, head id, and `(entry id, multiplicity)` pairs,
+//!            so a 10k-application NF costs a handful of pairs on disk)
 //!   state:   updates, tuples, base/txn atoms, certified NFs, dirty set
 //!            (base/txn names as atom-table indices, ids as arena indices)
 //!   nf-cache: count, then (root, nf) id pairs
@@ -45,8 +48,13 @@ use crate::crc::crc32;
 /// The snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"UPSNAP01";
 
-/// The current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The current snapshot format version. Version 2 added the counted-block
+/// node kind ([`Node::Counted`]) and made normal forms counted; version 1
+/// snapshots are **rejected**, not migrated — their certified-NF sections
+/// record expanded-spine images that are no longer normal under the
+/// counted rule system, and re-seeding them would poison every later
+/// incremental normalization (the [`uprov_core::NfCache`] contract).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot blob was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +129,8 @@ const NODE_ATOM: u8 = 1;
 const NODE_BIN: u8 = 2;
 /// Node tag byte: an n-ary sum.
 const NODE_SUM: u8 = 3;
+/// Node tag byte: a counted `+I`/`+M` block (version 2).
+const NODE_COUNTED: u8 = 4;
 
 fn op_tag(op: BinOp) -> u8 {
     match op {
@@ -176,6 +186,10 @@ pub fn encode(engine: &Engine, state: &ReplayState, wal_seq: u64) -> Vec<u8> {
                 stack.push(*a);
                 stack.push(*b);
             }
+            Node::Counted(_, h, es) => {
+                stack.push(*h);
+                stack.extend(es.iter().map(|&(e, _)| e));
+            }
             Node::Sum(terms) => stack.extend_from_slice(terms),
         }
     }
@@ -215,6 +229,16 @@ pub fn encode(engine: &Engine, state: &ReplayState, wal_seq: u64) -> Vec<u8> {
                 p.push(op_tag(*op));
                 put_u32(&mut p, remap[a.index()]);
                 put_u32(&mut p, remap[b.index()]);
+            }
+            Node::Counted(op, h, es) => {
+                p.push(NODE_COUNTED);
+                p.push(op_tag(*op));
+                put_u32(&mut p, remap[h.index()]);
+                put_u32(&mut p, es.len() as u32);
+                for &(e, m) in es.iter() {
+                    put_u32(&mut p, remap[e.index()]);
+                    put_u32(&mut p, m);
+                }
             }
             Node::Sum(terms) => {
                 p.push(NODE_SUM);
@@ -481,6 +505,54 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
                 }
                 Node::Sum(terms.into_boxed_slice())
             }
+            NODE_COUNTED => {
+                let op = op_from_tag(r.take(1, "counted op tag")?[0])
+                    .ok_or(SnapshotError::Corrupt("unknown binop tag"))?;
+                if !matches!(op, BinOp::PlusI | BinOp::PlusM) {
+                    return Err(SnapshotError::Corrupt(
+                        "counted block under a non-increment operator",
+                    ));
+                }
+                let h = child(&mut r, "counted head")?;
+                let nentries = r.take_u32("counted arity")? as usize;
+                let mut entries = Vec::with_capacity(nentries.min(1 << 16));
+                // Entry canonicity (strict sortedness, nonzero
+                // multiplicities, the ≥2-applications threshold) is checked
+                // right here in the byte-reading pass: encode-side
+                // compaction is order-preserving, so a canonical block
+                // arrives sorted, and validating inline means the bulk
+                // rebuild below never re-scans entry lists it would only
+                // reject anyway.
+                let mut total: u64 = 0;
+                for _ in 0..nentries {
+                    let e = child(&mut r, "counted entry")?;
+                    let m = r.take_u32("counted multiplicity")?;
+                    if m == 0 {
+                        return Err(SnapshotError::Corrupt(
+                            "zero multiplicity in a counted block",
+                        ));
+                    }
+                    if entries
+                        .last()
+                        .is_some_and(|&(prev, _): &(NodeId, u32)| prev >= e)
+                    {
+                        return Err(SnapshotError::Corrupt(
+                            "counted entries not strictly sorted",
+                        ));
+                    }
+                    total += u64::from(m);
+                    entries.push((e, m));
+                }
+                if entries.is_empty() {
+                    return Err(SnapshotError::Corrupt("counted block without entries"));
+                }
+                if total < 2 {
+                    return Err(SnapshotError::Corrupt(
+                        "counted block below the two-application threshold",
+                    ));
+                }
+                Node::Counted(op, h, entries.into_boxed_slice())
+            }
             _ => return Err(SnapshotError::Corrupt("unknown node tag")),
         };
         nodes.push(node);
@@ -574,6 +646,77 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_counted_blocks_are_typed_errors_not_panics() {
+        // Two transactions each inserting `a` twice: a's certified NF is a
+        // counted +I block with two entries, live in the snapshot through
+        // the NF cache.
+        let (engine, state) = engine_with(
+            "base a\nbegin t1\ninsert a\ninsert a\ncommit\nbegin t2\ninsert a\ninsert a\ncommit\n",
+        );
+        let bytes = encode(&engine, &state, 0);
+        // Walk the payload exactly as decode does, up to the first counted
+        // node's entry section.
+        let mut r = Reader::new(&bytes[24..]);
+        r.take_u64("wal").unwrap();
+        let natoms = r.take_u32("atoms").unwrap();
+        for _ in 0..natoms {
+            r.take(1, "kind").unwrap();
+            r.take_str("name").unwrap();
+        }
+        let nnodes = r.take_u32("nodes").unwrap();
+        let mut found = None;
+        for _ in 1..nnodes {
+            match r.take(1, "tag").unwrap()[0] {
+                NODE_ATOM => {
+                    r.take_u32("atom").unwrap();
+                }
+                NODE_BIN => {
+                    r.take(1, "op").unwrap();
+                    r.take_u32("lhs").unwrap();
+                    r.take_u32("rhs").unwrap();
+                }
+                NODE_SUM => {
+                    let n = r.take_u32("arity").unwrap();
+                    for _ in 0..n {
+                        r.take_u32("term").unwrap();
+                    }
+                }
+                NODE_COUNTED => {
+                    r.take(1, "op").unwrap();
+                    r.take_u32("head").unwrap();
+                    let n = r.take_u32("arity").unwrap();
+                    assert!(n >= 2, "the test log yields a two-entry block");
+                    found = Some(24 + r.pos());
+                    break;
+                }
+                t => panic!("unexpected node tag {t}"),
+            }
+        }
+        let entries_at = found.expect("snapshot holds a counted NF");
+        let reframe = |mut b: Vec<u8>| -> Vec<u8> {
+            let crc = crc32(&b[24..]);
+            b[20..24].copy_from_slice(&crc.to_le_bytes());
+            b
+        };
+        // Swap the two sorted (id, mult) pairs: typed corruption, no panic.
+        let mut swapped = bytes.clone();
+        for i in 0..8 {
+            swapped.swap(entries_at + i, entries_at + 8 + i);
+        }
+        assert_eq!(
+            decode(&reframe(swapped)).unwrap_err(),
+            SnapshotError::Corrupt("counted entries not strictly sorted")
+        );
+        // Zero out the first multiplicity.
+        let mut zeroed = bytes.clone();
+        zeroed[entries_at + 4..entries_at + 8].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode(&reframe(zeroed)).unwrap_err(),
+            SnapshotError::Corrupt("zero multiplicity in a counted block")
+        );
+    }
+
+    #[test]
     fn header_failures_are_typed() {
         let (engine, state) = engine_with("base a\n");
         let bytes = encode(&engine, &state, 0);
@@ -582,11 +725,20 @@ mod tests {
             decode(b"WRONGMAGICxxxxxxxxxxxxxxxx").unwrap_err(),
             SnapshotError::BadMagic
         );
-        let mut v2 = bytes.clone();
-        v2[8] = 2;
+        // Version 1 (pre-counted-block) is rejected, not migrated — its
+        // certified NFs are stale under the counted rule system. Future
+        // versions are equally unreadable.
+        let mut v1 = bytes.clone();
+        v1[8] = 1;
         assert_eq!(
-            decode(&v2).unwrap_err(),
-            SnapshotError::UnsupportedVersion(2)
+            decode(&v1).unwrap_err(),
+            SnapshotError::UnsupportedVersion(1)
+        );
+        let mut v3 = bytes.clone();
+        v3[8] = 3;
+        assert_eq!(
+            decode(&v3).unwrap_err(),
+            SnapshotError::UnsupportedVersion(3)
         );
         let mut flipped = bytes.clone();
         *flipped.last_mut().unwrap() ^= 0xFF;

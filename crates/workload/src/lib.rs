@@ -253,6 +253,97 @@ impl Workload {
     }
 }
 
+/// One axiom-derived rewriting family for [`equivalent_variant`]: each
+/// produces a log whose replayed database is `UP[X]`-equivalent to the
+/// input's — same per-tuple normal forms, different update text. These are
+/// the positive cases for the engine's `equivalent` oracle: transitivity
+/// over independently generated variants is a real property, not a
+/// tautology, because each family perturbs the log through a *different*
+/// Figure 3 axiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Shuffle every multi-source `modify`'s source list. Σ-terms intern
+    /// as sorted AC sums and source consumption is per-tuple, so source
+    /// order is erased before rewriting even starts.
+    PermuteModifySources,
+    /// Inject a dead self-modify `modify X <- X` immediately before an
+    /// existing `insert X` / `delete X` in the same transaction. The
+    /// following insert (axiom 9, `(a +M (b ·M p)) +I p = a +I p`) or
+    /// delete (axiom 2, `(a +M (b ·M p)) − p = a − p`) absorbs the
+    /// modification, and a self-source is never consumed.
+    DeadSelfModify,
+    /// Inject `modify D <- D` immediately after a `delete D` in the same
+    /// transaction. The increment is dead on arrival — axiom 5 gives
+    /// `(d − p) ·M p = 0`, firing inside the `+M` block the modify
+    /// creates — and a self-source is never consumed. The target must be
+    /// `D` itself: aiming the dead modify at a tuple with *zero*
+    /// provenance would intern `0 +M dot` as the bare dot — no `+M`
+    /// block for the axiom 5 rule to fire in — which is not equivalent
+    /// in the free algebra.
+    ModifyFromDeleted,
+}
+
+/// Rewrites `log` through one [`Variant`] family, gating each opportunity
+/// on `rng` so repeated calls with independent streams produce distinct
+/// (but all mutually equivalent) logs. The result replays to a database
+/// the engine's `equivalent` oracle must accept against the original.
+pub fn equivalent_variant(log: &UpdateLog, variant: Variant, rng: &mut TestRng) -> UpdateLog {
+    let mut out = log.clone();
+    for txn in &mut out.txns {
+        match variant {
+            Variant::PermuteModifySources => {
+                for op in &mut txn.ops {
+                    if let Op::Modify { sources, .. } = op {
+                        // Fisher-Yates over the source list.
+                        for i in (1..sources.len()).rev() {
+                            sources.swap(i, rng.below(i + 1));
+                        }
+                    }
+                }
+            }
+            Variant::DeadSelfModify => {
+                let mut rebuilt = Vec::with_capacity(txn.ops.len());
+                for op in txn.ops.drain(..) {
+                    let anchor = match &op {
+                        Op::Insert { tuple } | Op::Delete { tuple } => Some(tuple.clone()),
+                        Op::Modify { .. } => None,
+                    };
+                    if let Some(tuple) = anchor {
+                        if rng.chance(60) {
+                            rebuilt.push(Op::Modify {
+                                target: tuple.clone(),
+                                sources: vec![tuple],
+                            });
+                        }
+                    }
+                    rebuilt.push(op);
+                }
+                txn.ops = rebuilt;
+            }
+            Variant::ModifyFromDeleted => {
+                let mut rebuilt = Vec::with_capacity(txn.ops.len());
+                for op in txn.ops.drain(..) {
+                    let deleted = match &op {
+                        Op::Delete { tuple } => Some(tuple.clone()),
+                        _ => None,
+                    };
+                    rebuilt.push(op);
+                    if let Some(d) = deleted {
+                        if rng.chance(60) {
+                            rebuilt.push(Op::Modify {
+                                target: d.clone(),
+                                sources: vec![d],
+                            });
+                        }
+                    }
+                }
+                txn.ops = rebuilt;
+            }
+        }
+    }
+    out
+}
+
 /// Environment knobs shared by the fuzzing test binaries, so the CI matrix
 /// and local runs scale the same way.
 pub mod knobs {

@@ -12,7 +12,13 @@
 //!    structure and several thread counts;
 //! 4. cache-valve budgets change memory use, never answers;
 //! 5. checkpoint → crash → recover through `uprov-storage` preserves
-//!    every query answer.
+//!    every query answer;
+//! 6. axiom-derived equivalent log variants form one equivalence class —
+//!    `equivalent` is symmetric, transitive, and agrees with its
+//!    uncached baseline across independently generated variants;
+//! 7. a seeded mid-append crash (`FaultStorage`) leaves a disk whose
+//!    recovery answers exactly like a from-scratch replay of the
+//!    acknowledged prefix.
 //!
 //! Scaling knobs (see `uprov_workload::knobs`): `UPROV_FUZZ_CASES` (cases
 //! per seed; default keeps tier-1 fast) and `UPROV_FUZZ_SEEDS`
@@ -25,9 +31,9 @@ use std::collections::BTreeSet;
 use benchkit::TestRng;
 use uprov_core::{UpdateStructure, Valuation};
 use uprov_engine::{Engine, ReplayState, SymbolicTuple, UpdateLog};
-use uprov_storage::{DurableEngine, MemStorage};
+use uprov_storage::{DurableEngine, FaultMode, FaultStorage, MemStorage, Storage, WAL_BLOB};
 use uprov_structures::{Bool, Clearance, Trust, Witnesses, Worlds};
-use uprov_workload::{knobs, Workload, WorkloadConfig};
+use uprov_workload::{equivalent_variant, knobs, Variant, Workload, WorkloadConfig};
 
 /// The generated case list every oracle sweeps: `UPROV_FUZZ_CASES` cases
 /// for each seed in `UPROV_FUZZ_SEEDS`.
@@ -466,5 +472,148 @@ fn checkpoint_recovery_round_trip_preserves_answers() {
             }
         }
         drop(db);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6: axiom-derived equivalent variants form one equivalence class.
+// ---------------------------------------------------------------------
+
+#[test]
+fn equivalent_variants_are_transitively_equivalent() {
+    let mut any_textual_change = false;
+    for w in cases() {
+        let cfg = &w.config;
+        let mut rng = TestRng::new(cfg.seed ^ 0xEA51_0000_C1A5_5E5E);
+        // Three independently generated members of the class: a source
+        // reorder, a dead-self-modify compensation, and a compensation
+        // chain stacking modify-from-deleted on top of the reorder.
+        let va = equivalent_variant(&w.log, Variant::PermuteModifySources, &mut rng);
+        let vb = equivalent_variant(&w.log, Variant::DeadSelfModify, &mut rng);
+        let vc = equivalent_variant(&va, Variant::ModifyFromDeleted, &mut rng);
+        any_textual_change |= [&va, &vb, &vc]
+            .iter()
+            .any(|v| v.to_string() != w.log.to_string());
+
+        let mut engine = Engine::new();
+        let states: Vec<ReplayState> = [&w.log, &va, &vb, &vc]
+            .iter()
+            .map(|log| {
+                engine
+                    .replay(log)
+                    .unwrap_or_else(|e| panic!("{cfg}: variant replays: {e}"))
+            })
+            .collect();
+
+        // Every pair in both directions: cached verdict is "equivalent"
+        // and agrees with the uncached baseline. In particular the chain
+        // s0~s1, s1~s2, s2~s3 closes transitively (s0~s2, s0~s3, s1~s3).
+        for i in 0..states.len() {
+            for j in 0..states.len() {
+                if i == j {
+                    continue;
+                }
+                let eq = engine.equivalent(&states[i], &states[j]);
+                assert!(eq.is_equivalent(), "{cfg}: variants {i} vs {j}: {eq:?}");
+                let unc = engine.equivalent_uncached(&states[i], &states[j]);
+                assert!(
+                    unc.is_equivalent(),
+                    "{cfg}: variants {i} vs {j} uncached: {unc:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        any_textual_change,
+        "variant sweep never changed a log — the oracle is vacuous"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Oracle 7: seeded mid-append crash == from-scratch replay of the
+// acknowledged prefix.
+// ---------------------------------------------------------------------
+
+#[test]
+fn crashed_workload_recovers_to_the_acknowledged_prefix() {
+    for w in cases() {
+        let cfg = &w.config;
+        let mut rng = TestRng::new(cfg.seed ^ 0xFA01_7000_00C0_FFEE);
+        let slices = w.schedule(&mut rng);
+
+        // Clean dry run to learn the final WAL length, so the seeded
+        // crash offset always lands somewhere that matters.
+        let (mut dry, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        for s in &slices {
+            dry.append(s).unwrap_or_else(|e| panic!("{cfg}: dry: {e}"));
+        }
+        let wal_len = dry.storage().len(WAL_BLOB).unwrap().unwrap_or(0);
+
+        // Crash during the append that crosses a random WAL offset
+        // (offset == wal_len means no crash at all — the degenerate case
+        // stays in the sweep on purpose).
+        let offset = rng.below(wal_len as usize + 1) as u64;
+        let fault = FaultStorage::new(
+            MemStorage::new(),
+            FaultMode::CrashAt {
+                blob: WAL_BLOB.into(),
+                offset,
+            },
+        );
+        let (mut db, _) = DurableEngine::open(fault).unwrap();
+        let snap_after = rng.below(slices.len());
+        let mut acked = UpdateLog::default();
+        for (i, slice) in slices.iter().enumerate() {
+            match db.append(slice) {
+                Ok(_) => {
+                    acked.base.extend(slice.base.iter().cloned());
+                    acked.txns.extend(slice.txns.iter().cloned());
+                }
+                // The injected crash: everything from this append on is
+                // lost. (A checkpoint truncates the WAL, so runs whose
+                // offset lands in truncated territory never crash — the
+                // degenerate full-recovery case stays in the sweep.)
+                Err(_) => break,
+            }
+            if i == snap_after {
+                // A checkpoint mid-run exercises snapshot + WAL-tail
+                // recovery jointly; it cannot fail before the crash.
+                db.snapshot()
+                    .unwrap_or_else(|e| panic!("{cfg}: snapshot: {e}"));
+            }
+        }
+
+        // "The machine rebooted": recover from the surviving bytes.
+        let disk = db.into_storage().into_inner();
+        let (mut rec, _report) = DurableEngine::open(disk)
+            .unwrap_or_else(|e| panic!("{cfg}: recovery at offset {offset}/{wal_len}: {e}"));
+
+        let mut fresh = Engine::new();
+        let fresh_state = fresh
+            .replay(&acked)
+            .unwrap_or_else(|e| panic!("{cfg}: prefix replays: {e}"));
+
+        let (eng, state) = rec.query();
+        assert_eq!(
+            fresh_state.update_count(),
+            state.update_count(),
+            "{cfg}: offset {offset}/{wal_len}: update counts"
+        );
+        let mut names_fresh: Vec<&str> = fresh_state.tuple_names().collect();
+        let mut names_rec: Vec<&str> = state.tuple_names().collect();
+        names_fresh.sort_unstable();
+        names_rec.sort_unstable();
+        assert_eq!(
+            names_fresh, names_rec,
+            "{cfg}: offset {offset}: tuple names"
+        );
+
+        let val_f = valuation_for::<Worlds, _>(&w, &fresh_state, 0xF4, u64::MAX, |m| m);
+        let val_r = valuation_for::<Worlds, _>(&w, state, 0xF4, u64::MAX, |m| m);
+        assert_eq!(
+            eval_map(&mut fresh, &fresh_state, &Worlds, &val_f),
+            eval_map(eng, state, &Worlds, &val_r),
+            "{cfg}: offset {offset}/{wal_len}: recovered answers"
+        );
     }
 }
