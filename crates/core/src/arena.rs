@@ -788,6 +788,39 @@ impl ExprArena {
             .collect()
     }
 
+    /// Ids reachable from **any** of `roots`, in ascending (hence
+    /// topological) order: the union evaluation schedule behind the batch
+    /// evaluators ([`crate::structure::eval_roots_many_in`]), computed with
+    /// one marking pass instead of one per root. Empty `roots` yields an
+    /// empty schedule.
+    pub fn topo_order_roots(&self, roots: &[NodeId]) -> Vec<NodeId> {
+        let len = roots.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+        let mut marked = vec![false; len];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut marked[id.index()], true) {
+                continue;
+            }
+            match &self.nodes[id.index()] {
+                Node::Zero | Node::Atom(_) => {}
+                Node::Bin(_, a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Sum(ts) => stack.extend_from_slice(ts),
+                Node::Counted(_, h, es) => {
+                    stack.push(*h);
+                    stack.extend(es.iter().map(|&(e, _)| e));
+                }
+            }
+        }
+        marked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(NodeId(i as u32)))
+            .collect()
+    }
+
     /// Computes [`NodeStats`] for `root` in one bottom-up sweep over the
     /// topologically ordered node vector (plus one reachability marking).
     pub fn analyze(&self, root: NodeId) -> NodeStats {

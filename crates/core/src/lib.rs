@@ -39,6 +39,7 @@ pub mod fxhash;
 pub mod nf;
 pub mod oracle;
 pub mod parallel;
+pub mod pool;
 pub mod rewrite;
 pub mod structure;
 
@@ -55,9 +56,13 @@ pub use nf::{
     EpochMap, NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
 };
 pub use oracle::{check_nf_preserves_eval, check_parallel_matches_serial, OracleDivergence};
-pub use parallel::{par_eval_many_in, par_eval_roots_in, resolve_threads, MemoPool};
+pub use parallel::{
+    par_eval_many_in, par_eval_many_scoped_in, par_eval_roots_in, par_eval_roots_many_in,
+    par_eval_roots_scoped_in, resolve_threads, MemoPool,
+};
+pub use pool::WorkerPool;
 pub use rewrite::{reduce, rewrite_once, rules, RewriteRule};
 pub use structure::{
-    eval, eval_arena, eval_arena_in, eval_many, eval_many_in, eval_roots_in, map_valuation,
-    StructureHomomorphism, UpdateStructure, Valuation,
+    eval, eval_arena, eval_arena_in, eval_many, eval_many_in, eval_roots_in, eval_roots_many_in,
+    map_valuation, StructureHomomorphism, UpdateStructure, Valuation,
 };

@@ -38,14 +38,20 @@
 //!
 //! # Threads
 //!
-//! The build environment is offline (no rayon), so workers are plain
-//! [`std::thread::scope`] threads, spawned per call: worthwhile once a
-//! batch carries at least tens of microseconds of work, which the engine's
-//! whole-database and valuation-batch queries easily do. Work is
-//! distributed by an atomic chunk counter (a few chunks per worker), so a
-//! heavy chunk does not serialize the batch behind one worker.
-//! [`resolve_threads`] turns the conventional `0 = auto` knob into a
-//! concrete count (`UPROV_THREADS`, clamped to available parallelism).
+//! The build environment is offline (no rayon), so workers come from the
+//! process-wide persistent [`WorkerPool`]: resident
+//! threads parked on a queue, woken per call, with the calling thread
+//! participating as one more worker. Earlier revisions spawned
+//! [`std::thread::scope`] threads per call, whose spawn + join cost
+//! dominated sub-millisecond batches; that path survives as
+//! [`par_eval_many_scoped_in`] / [`par_eval_roots_scoped_in`] — a
+//! bit-identical baseline for differential tests and the dispatch-overhead
+//! benchmark guard. Work is distributed by an atomic chunk counter (a few
+//! chunks per worker), so a heavy chunk does not serialize the batch
+//! behind one worker, and a busy pool merely means fewer concurrent
+//! claimants — never a wrong answer. [`resolve_threads`] turns the
+//! conventional `0 = auto` knob into a concrete count (`UPROV_THREADS`,
+//! clamped to available parallelism).
 //!
 //! ```
 //! use uprov_core::{par_eval_roots_in, AtomTable, ExprArena, MemoPool, Valuation};
@@ -69,11 +75,13 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::arena::{DenseMemo, ExprArena, NodeId};
+use crate::pool::WorkerPool;
 use crate::structure::{
-    eval_fill, eval_many_in, eval_one_ordered, eval_roots_in, UpdateStructure, Valuation,
+    eval_fill, eval_many_in, eval_one_ordered, eval_roots_in, eval_roots_many_in, replay_schedule,
+    UpdateStructure, Valuation,
 };
 
 /// Chunks handed out per worker (per [`par_eval_many_in`] /
@@ -210,6 +218,35 @@ pub fn par_eval_many_in<S: UpdateStructure>(
     pool: &MemoPool<S::Value>,
     threads: usize,
 ) -> Vec<S::Value> {
+    par_eval_many_dispatch(arena, root, s, valuations, pool, threads, Harness::Pooled)
+}
+
+/// [`par_eval_many_in`] on the retired per-call [`std::thread::scope`]
+/// harness: bit-identical output, spawn + join paid on every call.
+///
+/// Kept as the baseline the pool is measured against — the differential
+/// property tests pin `pooled == scoped == serial`, and the benchmark suite
+/// guards that pooled dispatch overhead stays well below this path's.
+pub fn par_eval_many_scoped_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    pool: &MemoPool<S::Value>,
+    threads: usize,
+) -> Vec<S::Value> {
+    par_eval_many_dispatch(arena, root, s, valuations, pool, threads, Harness::Scoped)
+}
+
+fn par_eval_many_dispatch<S: UpdateStructure>(
+    arena: &ExprArena,
+    root: NodeId,
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    pool: &MemoPool<S::Value>,
+    threads: usize,
+    harness: Harness,
+) -> Vec<S::Value> {
     let threads = threads.clamp(1, valuations.len().max(1));
     if threads == 1 {
         let mut memo = pool.acquire();
@@ -229,7 +266,7 @@ pub fn par_eval_many_in<S: UpdateStructure>(
             .map(|val| eval_one_ordered(arena, &order, root, s, val, memo))
             .collect::<Vec<S::Value>>()
     };
-    run_sharded(&chunks, pool, threads, root.index() + 1, worker)
+    run_sharded(harness, &chunks, pool, threads, root.index() + 1, worker)
 }
 
 /// [`eval_roots_in`] sharded **by root**
@@ -249,6 +286,31 @@ pub fn par_eval_roots_in<S: UpdateStructure>(
     val: &Valuation<S::Value>,
     pool: &MemoPool<S::Value>,
     threads: usize,
+) -> Vec<S::Value> {
+    par_eval_roots_dispatch(arena, roots, s, val, pool, threads, Harness::Pooled)
+}
+
+/// [`par_eval_roots_in`] on the retired per-call [`std::thread::scope`]
+/// harness — see [`par_eval_many_scoped_in`] for why it survives.
+pub fn par_eval_roots_scoped_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    s: &S,
+    val: &Valuation<S::Value>,
+    pool: &MemoPool<S::Value>,
+    threads: usize,
+) -> Vec<S::Value> {
+    par_eval_roots_dispatch(arena, roots, s, val, pool, threads, Harness::Scoped)
+}
+
+fn par_eval_roots_dispatch<S: UpdateStructure>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    s: &S,
+    val: &Valuation<S::Value>,
+    pool: &MemoPool<S::Value>,
+    threads: usize,
+    harness: Harness,
 ) -> Vec<S::Value> {
     let threads = threads.clamp(1, roots.len().max(1));
     if threads == 1 {
@@ -271,25 +333,146 @@ pub fn par_eval_roots_in<S: UpdateStructure>(
             })
             .collect::<Vec<S::Value>>()
     };
-    run_sharded(&chunks, pool, threads, memo_len, worker)
+    run_sharded(harness, &chunks, pool, threads, memo_len, worker)
 }
 
-/// The shared scoped-thread harness behind both parallel evaluators: spawn
-/// `threads` workers, each holding one pooled memo reset to `memo_len`;
+/// [`eval_roots_many_in`] (many roots × many valuations) sharded **by
+/// valuation** across the persistent pool: the union schedule of all
+/// `roots` is computed once and shared read-only, and each worker replays
+/// it for the valuations it claims. One row per valuation, each row in
+/// `roots` order — bit-identical to the serial batch evaluator for every
+/// thread count.
+///
+/// This is the execution shape behind the service layer's coalesced abort
+/// bursts: *k* concurrent "what if txn `p`ᵢ aborts?" queries against the
+/// same database become one schedule and *k* cheap replays.
+pub fn par_eval_roots_many_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    pool: &MemoPool<S::Value>,
+    threads: usize,
+) -> Vec<Vec<S::Value>> {
+    let threads = threads.clamp(1, valuations.len().max(1));
+    if threads == 1 {
+        let mut memo = pool.acquire();
+        let out = eval_roots_many_in(arena, roots, s, valuations, &mut memo);
+        pool.release(memo);
+        return out;
+    }
+    let order = arena.topo_order_roots(roots);
+    let memo_len = roots.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+    let chunk_size = valuations
+        .len()
+        .div_ceil(threads * CHUNKS_PER_THREAD)
+        .max(1);
+    let chunks: Vec<&[Valuation<S::Value>]> = valuations.chunks(chunk_size).collect();
+    let worker = |memo: &mut DenseMemo<S::Value>, chunk: &[Valuation<S::Value>]| {
+        chunk
+            .iter()
+            .map(|val| {
+                replay_schedule(arena, &order, s, val, memo);
+                roots
+                    .iter()
+                    .map(|&r| memo.get(r).cloned().expect("root computed"))
+                    .collect::<Vec<S::Value>>()
+            })
+            .collect::<Vec<Vec<S::Value>>>()
+    };
+    run_sharded(Harness::Pooled, &chunks, pool, threads, memo_len, worker)
+}
+
+/// Which thread source a parallel call dispatches on: the persistent
+/// [`WorkerPool`] (default) or the retired per-call scoped-spawn baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Harness {
+    Pooled,
+    Scoped,
+}
+
+/// The shared harness behind both parallel evaluators: run `threads`
+/// worker bodies, each holding one pooled memo reset to `memo_len`;
 /// workers claim chunk indices from an atomic counter, run `work` per
 /// chunk, and the per-chunk outputs are stitched back together in input
 /// order — the determinism half of the module contract.
-fn run_sharded<I, V, F>(
+fn run_sharded<I, T, V, F>(
+    harness: Harness,
     chunks: &[&[I]],
-    pool: &MemoPool<V>,
+    pool: &MemoPool<T>,
     threads: usize,
     memo_len: usize,
     work: F,
 ) -> Vec<V>
 where
     I: Sync,
+    T: Send,
     V: Send + Sync,
-    F: Fn(&mut DenseMemo<V>, &[I]) -> Vec<V> + Sync,
+    F: Fn(&mut DenseMemo<T>, &[I]) -> Vec<V> + Sync,
+{
+    match harness {
+        Harness::Pooled => run_sharded_pooled(chunks, pool, threads, memo_len, work),
+        Harness::Scoped => run_sharded_scoped(chunks, pool, threads, memo_len, work),
+    }
+}
+
+/// Dispatch through the process-wide persistent [`WorkerPool`]: no thread
+/// spawns, just queue entries and wakeups. Each worker body (the caller
+/// included) acquires one memo from the caller's [`MemoPool`] — so memo
+/// buffers, like the residents themselves, are reused across calls — and
+/// deposits per-chunk output into claim-once slots.
+fn run_sharded_pooled<I, T, V, F>(
+    chunks: &[&[I]],
+    pool: &MemoPool<T>,
+    threads: usize,
+    memo_len: usize,
+    work: F,
+) -> Vec<V>
+where
+    I: Sync,
+    T: Send,
+    V: Send + Sync,
+    F: Fn(&mut DenseMemo<T>, &[I]) -> Vec<V> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Vec<V>>> = (0..chunks.len()).map(|_| OnceLock::new()).collect();
+    WorkerPool::global().run(threads, |_worker| {
+        let mut memo = pool.acquire();
+        memo.reset(memo_len);
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&chunk) = chunks.get(i) else {
+                break;
+            };
+            if slots[i].set(work(&mut memo, chunk)).is_err() {
+                unreachable!("chunk index claimed twice");
+            }
+        }
+        pool.release(memo);
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("every chunk claimed by some worker")
+        })
+        .collect()
+}
+
+/// The retired per-call scoped-spawn harness, kept verbatim as the
+/// baseline for differential tests and the dispatch-overhead guard.
+fn run_sharded_scoped<I, T, V, F>(
+    chunks: &[&[I]],
+    pool: &MemoPool<T>,
+    threads: usize,
+    memo_len: usize,
+    work: F,
+) -> Vec<V>
+where
+    I: Sync,
+    T: Send,
+    V: Send + Sync,
+    F: Fn(&mut DenseMemo<T>, &[I]) -> Vec<V> + Sync,
 {
     let next = AtomicUsize::new(0);
     let mut per_chunk: Vec<Option<Vec<V>>> = (0..chunks.len()).map(|_| None).collect();

@@ -532,6 +532,22 @@ pub(crate) fn eval_one_ordered<S: UpdateStructure, M: EvalMemo<S::Value>>(
     val: &Valuation<S::Value>,
     memo: &mut M,
 ) -> S::Value {
+    replay_schedule(arena, order, s, val, memo);
+    memo.get(root).cloned().expect("root computed")
+}
+
+/// The schedule-replay loop shared by [`eval_one_ordered`] and the
+/// multi-root batch evaluators: after the call, `memo` holds a value for
+/// every node in `order` under `val`. Every node is overwritten before it
+/// is read (children precede parents in a topological schedule), so no
+/// reset is needed between valuations.
+pub(crate) fn replay_schedule<S: UpdateStructure, M: EvalMemo<S::Value>>(
+    arena: &ExprArena,
+    order: &[NodeId],
+    s: &S,
+    val: &Valuation<S::Value>,
+    memo: &mut M,
+) {
     for &id in order {
         let v = match arena.node(id) {
             Node::Zero => s.zero(),
@@ -555,7 +571,38 @@ pub(crate) fn eval_one_ordered<S: UpdateStructure, M: EvalMemo<S::Value>>(
         };
         memo.set(id, v);
     }
-    memo.get(root).cloned().expect("root computed")
+}
+
+/// Evaluates **many roots under many valuations** — the coalesced-batch
+/// shape of the service layer, where a burst of abort queries against the
+/// same database shares one evaluation schedule.
+///
+/// The union sub-DAG of all `roots` is topologically sorted **once**
+/// ([`ExprArena::topo_order_roots`]); each valuation then replays that
+/// shared schedule into the reusable memo and reads off every root. Output
+/// is one row per valuation, in `valuations` order, each row in `roots`
+/// order — bit-identical to calling [`eval_roots_in`] once per valuation,
+/// at a fraction of the traversal bookkeeping.
+pub fn eval_roots_many_in<S: UpdateStructure>(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    s: &S,
+    valuations: &[Valuation<S::Value>],
+    memo: &mut DenseMemo<S::Value>,
+) -> Vec<Vec<S::Value>> {
+    let order = arena.topo_order_roots(roots);
+    let len = roots.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+    memo.reset(len);
+    valuations
+        .iter()
+        .map(|val| {
+            replay_schedule(arena, &order, s, val, memo);
+            roots
+                .iter()
+                .map(|&r| memo.get(r).cloned().expect("root computed"))
+                .collect()
+        })
+        .collect()
 }
 
 /// A homomorphism between two Update-Structures (Definition 4.1): a value

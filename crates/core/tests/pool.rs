@@ -1,0 +1,228 @@
+//! Pool-reuse property tests: the persistent-worker-pool harness is a
+//! pure transport.
+//!
+//! The contract: `par_eval_many_in` / `par_eval_roots_in` (now dispatched
+//! onto the resident [`uprov_core::WorkerPool`]) are **bit-identical** to
+//! the serial evaluators *and* to the retired per-call
+//! `std::thread::scope` harness (kept as `par_eval_*_scoped_in`), for
+//! every thread count, across repeated calls on the same process-wide
+//! pool (memo buffers and parked workers are reused between calls — the
+//! whole point of the pool), under all five catalogue structures. Same
+//! deterministic xorshift harness as `tests/par.rs`; failing seeds print
+//! a repro line.
+
+use std::collections::BTreeSet;
+
+use uprov_core::{
+    eval_arena, eval_many, eval_roots_in, eval_roots_many_in, par_eval_many_in,
+    par_eval_many_scoped_in, par_eval_roots_in, par_eval_roots_many_in, par_eval_roots_scoped_in,
+    Atom, AtomTable, DenseMemo, Expr, ExprArena, ExprRef, MemoPool, NodeId, UpdateStructure,
+    Valuation, WorkerPool,
+};
+use uprov_structures::{Bool, Clearance, Trust, Witnesses, Worlds};
+
+/// xorshift64* — deterministic, dependency-free (same as `tests/par.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Random shared DAG over a handful of atoms (generator shape of
+/// `tests/par.rs`).
+fn random_expr(rng: &mut Rng, table: &mut AtomTable, ops: usize) -> (ExprRef, Vec<Atom>) {
+    let mut atoms = Vec::new();
+    let mut pool: Vec<ExprRef> = vec![Expr::zero()];
+    for _ in 0..4 {
+        let a = if rng.coin() {
+            table.fresh_tuple()
+        } else {
+            table.fresh_txn()
+        };
+        atoms.push(a);
+        pool.push(Expr::atom(a));
+    }
+    for _ in 0..ops {
+        let a = pool[rng.below(pool.len())].clone();
+        let b = pool[rng.below(pool.len())].clone();
+        let e = match rng.below(6) {
+            0 => Expr::plus_i(a, b),
+            1 => Expr::minus(a, b),
+            2 => Expr::plus_m(a, b),
+            3 => Expr::dot_m(a, b),
+            _ => {
+                let c = pool[rng.below(pool.len())].clone();
+                Expr::sum([a, b, c])
+            }
+        };
+        pool.push(e);
+    }
+    (pool.pop().expect("non-empty pool"), atoms)
+}
+
+fn random_valuation<S, F>(rng: &mut Rng, atoms: &[Atom], mut sample: F) -> Valuation<S::Value>
+where
+    S: UpdateStructure,
+    F: FnMut(&mut Rng) -> S::Value,
+{
+    let mut val = Valuation::constant(sample(rng));
+    for &a in atoms {
+        if rng.coin() {
+            let v = sample(rng);
+            val.set(a, v);
+        }
+    }
+    val
+}
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One structure's sweep: random DAG, random valuations, then for every
+/// thread count assert serial == pooled == scoped on both the
+/// many-valuations and many-roots paths — repeatedly, so one process-wide
+/// pool serves many calls back to back.
+fn sweep<S, F>(structure: &S, seed: u64, mut sample: F)
+where
+    S: UpdateStructure,
+    S::Value: std::fmt::Debug + PartialEq,
+    F: FnMut(&mut Rng) -> S::Value,
+{
+    let mut rng = Rng::new(seed);
+    let pool = MemoPool::new();
+    for case in 0..12 {
+        let mut table = AtomTable::new();
+        let ops = 3 + rng.below(30);
+        let (expr, atoms) = random_expr(&mut rng, &mut table, ops);
+        let mut arena = ExprArena::new();
+        let root = arena.import(&expr);
+        // A spread of roots into the shared DAG (sub-nodes included), so
+        // the many-roots path has real sharing to exploit.
+        let roots: Vec<NodeId> = (0..=root.index())
+            .map(NodeId::from_index)
+            .filter(|_| rng.coin())
+            .chain([root])
+            .collect();
+        let valuations: Vec<Valuation<S::Value>> = (0..1 + rng.below(9))
+            .map(|_| random_valuation::<S, _>(&mut rng, &atoms, &mut sample))
+            .collect();
+        let repro = format!("seed={seed} case={case}");
+
+        let serial_many = eval_many(&arena, root, structure, &valuations);
+        let mut memo = DenseMemo::new();
+        let serial_roots = eval_roots_in(&arena, &roots, structure, &valuations[0], &mut memo);
+        let mut memo = DenseMemo::new();
+        let serial_rows = eval_roots_many_in(&arena, &roots, structure, &valuations, &mut memo);
+
+        for threads in THREADS {
+            let pooled = par_eval_many_in(&arena, root, structure, &valuations, &pool, threads);
+            assert_eq!(pooled, serial_many, "{repro} t={threads}: pooled many");
+            let scoped =
+                par_eval_many_scoped_in(&arena, root, structure, &valuations, &pool, threads);
+            assert_eq!(scoped, serial_many, "{repro} t={threads}: scoped many");
+
+            let pooled =
+                par_eval_roots_in(&arena, &roots, structure, &valuations[0], &pool, threads);
+            assert_eq!(pooled, serial_roots, "{repro} t={threads}: pooled roots");
+            let scoped =
+                par_eval_roots_scoped_in(&arena, &roots, structure, &valuations[0], &pool, threads);
+            assert_eq!(scoped, serial_roots, "{repro} t={threads}: scoped roots");
+
+            let pooled =
+                par_eval_roots_many_in(&arena, &roots, structure, &valuations, &pool, threads);
+            assert_eq!(
+                pooled, serial_rows,
+                "{repro} t={threads}: pooled roots×vals"
+            );
+        }
+
+        // Spot-check one root against the no-memo reference evaluator.
+        assert_eq!(
+            serial_many[0],
+            eval_arena(&arena, root, structure, &valuations[0]),
+            "{repro}: eval_many[0] vs eval_arena"
+        );
+    }
+}
+
+#[test]
+fn pooled_eval_is_bit_identical_under_bool() {
+    sweep(&Bool, 0xB001_0001, |r| r.coin());
+}
+
+#[test]
+fn pooled_eval_is_bit_identical_under_worlds() {
+    sweep(&Worlds, 0x0301_21D5_0002, |r| r.next_u64());
+}
+
+#[test]
+fn pooled_eval_is_bit_identical_under_clearance() {
+    sweep(&Clearance, 0xC1EA_0003, |r| r.next_u64() as u16);
+}
+
+#[test]
+fn pooled_eval_is_bit_identical_under_trust() {
+    sweep(&Trust, 0x7121_0004, |r| r.next_u64() as u32);
+}
+
+#[test]
+fn pooled_eval_is_bit_identical_under_witnesses() {
+    sweep(&Witnesses, 0x3177_0005, |r| {
+        let mask = r.next_u64();
+        (0..16)
+            .filter(|k| mask >> k & 1 == 1)
+            .collect::<BTreeSet<u32>>()
+    });
+}
+
+/// Repeated calls on one explicit pool actually *reuse* it: the resident
+/// worker count is fixed, and dispatch bookkeeping advances — evidence
+/// the calls went through the pool rather than spawning fresh threads.
+#[test]
+fn repeated_calls_ride_one_resident_pool() {
+    let pool = WorkerPool::global();
+    let residents_before = pool.residents();
+    let dispatches_before = pool.dispatches();
+
+    let mut rng = Rng::new(42);
+    let mut table = AtomTable::new();
+    let (expr, atoms) = random_expr(&mut rng, &mut table, 24);
+    let mut arena = ExprArena::new();
+    let root = arena.import(&expr);
+    let valuations: Vec<Valuation<u64>> = (0..16)
+        .map(|_| random_valuation::<Worlds, _>(&mut rng, &atoms, |r| r.next_u64()))
+        .collect();
+    let memo_pool = MemoPool::new();
+    let expect = eval_many(&arena, root, &Worlds, &valuations);
+    for _ in 0..10 {
+        let got = par_eval_many_in(&arena, root, &Worlds, &valuations, &memo_pool, 4);
+        assert_eq!(got, expect);
+    }
+
+    assert_eq!(
+        pool.residents(),
+        residents_before,
+        "no new residents may appear: the pool is the process-wide one"
+    );
+    if residents_before > 0 {
+        assert!(
+            pool.dispatches() > dispatches_before,
+            "multi-threaded eval must dispatch through the resident pool"
+        );
+    }
+}

@@ -24,8 +24,8 @@
 
 use benchkit::{black_box, Harness};
 use uprov_core::{
-    equiv_in, eval_many_in, par_eval_many_in, DenseMemo, ExprArena, MemoPool, NfMemo, NodeId,
-    Valuation,
+    equiv_in, eval_many_in, par_eval_many_in, par_eval_many_scoped_in, DenseMemo, ExprArena,
+    MemoPool, NfMemo, NodeId, Valuation,
 };
 use uprov_engine::{Engine, UpdateLog};
 use uprov_structures::{Bool, Worlds};
@@ -339,6 +339,51 @@ fn main() {
         );
         eprintln!("  (guard skipped: {cores} core(s) < 4 — speedup floor needs real parallelism)");
     }
+
+    // --- Per-call dispatch overhead: the PR 9 resident-pool claim. A
+    //     deliberately tiny batch (one sharded tuple's 50-update chain ×
+    //     8 valuations at 4 threads) makes the eval work negligible, so
+    //     the pooled/scoped pair times the harness itself: condvar
+    //     wakeups of resident workers vs three fresh `thread::scope`
+    //     spawns per call. The ≥5x floor is unconditional — a thread
+    //     spawn dwarfs a condvar wake even when workers time-slice on a
+    //     single core, so this holds on 1-core CI runners too. ---
+    let tiny_root = par_state.provenance("x0");
+    let tiny_vals: Vec<Valuation<bool>> = (0..8)
+        .map(|j| {
+            let q = par_state
+                .txn_atom(&format!("q{j}"))
+                .expect("q0..q7 replayed");
+            Valuation::constant(true).with(q, false)
+        })
+        .collect();
+    let tiny_pool: MemoPool<bool> = MemoPool::new();
+    h.bench_full("engine/par_eval_many/tiny_x8_t4_pooled", || {
+        black_box(par_eval_many_in(
+            par_engine.arena(),
+            black_box(tiny_root),
+            &Bool,
+            &tiny_vals,
+            &tiny_pool,
+            4,
+        ));
+    });
+    h.bench_full("engine/par_eval_many/tiny_x8_t4_scoped", || {
+        black_box(par_eval_many_scoped_in(
+            par_engine.arena(),
+            black_box(tiny_root),
+            &Bool,
+            &tiny_vals,
+            &tiny_pool,
+            4,
+        ));
+    });
+    h.guard_speedup(
+        "par_eval_many/pooled_vs_scoped_dispatch",
+        "engine/par_eval_many/tiny_x8_t4_scoped",
+        "engine/par_eval_many/tiny_x8_t4_pooled",
+        5.0,
+    );
 
     // --- Condensed normal forms (the counted-block representation): one
     //     transaction alternating `insert a` / `insert b` 10 000 times.

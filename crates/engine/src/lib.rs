@@ -152,9 +152,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use uprov_core::{
-    eval_roots_in, nf_roots_in, nf_roots_incremental_in, par_eval_roots_in, resolve_threads, Atom,
-    AtomKind, AtomTable, DenseMemo, EpochMap, ExprArena, MemoPool, NfCache, NfMemo, NodeId,
-    UpdateStructure, Valuation,
+    eval_roots_in, nf_roots_in, nf_roots_incremental_in, par_eval_roots_in, par_eval_roots_many_in,
+    resolve_threads, Atom, AtomKind, AtomTable, DenseMemo, EpochMap, ExprArena, MemoPool, NfCache,
+    NfMemo, NodeId, UpdateStructure, Valuation,
 };
 
 pub use crate::log::{Op, ParseError, Txn, UpdateLog};
@@ -290,6 +290,18 @@ impl ReplayState {
     /// The annotation atom of a declared base tuple.
     pub fn base_atom(&self, name: &str) -> Option<Atom> {
         self.base_atoms.get(name).copied()
+    }
+
+    /// `(name, atom)` pairs of every committed transaction, in sorted name
+    /// order — the service layer walks these to build whole-log valuations.
+    pub fn txn_atoms(&self) -> impl Iterator<Item = (&str, Atom)> {
+        self.txn_atoms.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// `(name, atom)` pairs of every declared base tuple, in sorted name
+    /// order.
+    pub fn base_atoms(&self) -> impl Iterator<Item = (&str, Atom)> {
+        self.base_atoms.iter().map(|(n, &a)| (n.as_str(), a))
     }
 
     /// Number of updates replayed into this state.
@@ -429,6 +441,11 @@ pub struct StateSnapshot {
     /// Names of the dirty tuples.
     pub dirty: Vec<String>,
 }
+
+/// One whole-database concrete answer: `(tuple name, value)` for every
+/// tracked tuple, in sorted name order. The element type of the batched
+/// evaluators ([`Engine::eval_tuples_batch`], [`Engine::abort_eval_batch`]).
+pub type TupleRows<'s, V> = Vec<(&'s str, V)>;
 
 /// Per-tuple answer of a symbolic abort or deletion-propagation query: the
 /// tuple's provenance with the aborted transaction (or deleted base tuple)
@@ -984,6 +1001,72 @@ impl Engine {
             .collect()
     }
 
+    /// [`Engine::symbolic_zeroed`] for a whole burst of zeroed atoms: per
+    /// atom the substitution cache is probed and misses batch-substitute,
+    /// but every image across **all** atoms funnels into one incremental
+    /// normalization call — sub-DAGs shared between the queries (most of
+    /// the database, for aborts of sibling transactions) certify once.
+    /// Returns one symbolic view per atom, in `zeroed` order; each view is
+    /// bit-identical to the one-at-a-time path.
+    fn symbolic_zeroed_many(
+        &mut self,
+        state: &ReplayState,
+        zeroed: &[Atom],
+    ) -> Vec<Vec<SymbolicTuple>> {
+        let (names, roots): (Vec<&String>, Vec<NodeId>) =
+            state.tuples.iter().map(|(n, &id)| (n, id)).unzip();
+        if names.is_empty() {
+            return vec![Vec::new(); zeroed.len()];
+        }
+        let mut images: Vec<NodeId> = Vec::with_capacity(roots.len() * zeroed.len());
+        for &z in zeroed {
+            let map = HashMap::from([(z, ExprArena::ZERO)]);
+            let base = images.len();
+            let mut miss_ix: Vec<usize> = Vec::new();
+            let mut misses: Vec<NodeId> = Vec::new();
+            for (i, &r) in roots.iter().enumerate() {
+                match self.subst_cache.get_refresh(&(z, r)) {
+                    Some(&img) => images.push(img),
+                    None => {
+                        miss_ix.push(i);
+                        misses.push(r);
+                        images.push(r); // placeholder, overwritten below
+                    }
+                }
+            }
+            if !misses.is_empty() {
+                let substituted =
+                    self.arena
+                        .substitute_roots_in(&misses, &map, &mut self.subst_memo);
+                for ((&ix, &r), img) in miss_ix.iter().zip(&misses).zip(substituted) {
+                    self.subst_cache.insert((z, r), img);
+                    images[base + ix] = img;
+                }
+            }
+        }
+        let outcomes = nf_roots_incremental_in(
+            &mut self.arena,
+            &images,
+            &mut self.nf_cache,
+            &mut self.nf_memo,
+        );
+        self.enforce_cache_budget();
+        outcomes
+            .chunks_exact(names.len())
+            .map(|view| {
+                names
+                    .iter()
+                    .zip(view)
+                    .map(|(name, nf)| SymbolicTuple {
+                        name: (*name).clone(),
+                        provenance: nf.id,
+                        saturated: nf.saturated,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// The symbolic abort query: substitutes `txn ↦ 0` into every tuple's
     /// provenance and re-normalizes — "the database if `txn` aborts", as
     /// expressions over the surviving annotations (Section 4.1's
@@ -1037,6 +1120,31 @@ impl Engine {
             name: txn.to_owned(),
         })?;
         Ok(self.symbolic_zeroed(state, p, false))
+    }
+
+    /// [`Engine::abort_symbolic`] for a coalesced burst of transactions:
+    /// one substitution-cache sweep per transaction, one shared incremental
+    /// normalization batch across all of them. Returns one symbolic view
+    /// per transaction, in `txns` order, each bit-identical to the
+    /// one-at-a-time query — the service layer's writer turns a queue of
+    /// concurrent abort requests into exactly this call.
+    ///
+    /// Name resolution is all-or-nothing: any unknown transaction fails
+    /// the whole batch before any work happens.
+    pub fn abort_symbolic_batch(
+        &mut self,
+        state: &ReplayState,
+        txns: &[&str],
+    ) -> Result<Vec<Vec<SymbolicTuple>>, QueryError> {
+        let atoms = txns
+            .iter()
+            .map(|&txn| {
+                state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+                    name: txn.to_owned(),
+                })
+            })
+            .collect::<Result<Vec<Atom>, QueryError>>()?;
+        Ok(self.symbolic_zeroed_many(state, &atoms))
     }
 
     /// The symbolic deletion-propagation query: substitutes the base
@@ -1284,6 +1392,62 @@ impl Engine {
         Ok(self.eval_tuples_par(state, structure, &val, threads))
     }
 
+    /// Evaluates every tuple under **many** valuations in one pass: the
+    /// union evaluation schedule over all tuple roots is computed once
+    /// ([`uprov_core::par_eval_roots_many_in`]) and each valuation replays
+    /// it, sharded across the persistent worker pool. One row per
+    /// valuation, each row in sorted tuple order — bit-identical to
+    /// calling [`Engine::eval_tuples`] once per valuation.
+    ///
+    /// `threads == 0` means auto (see [`uprov_core::resolve_threads`]);
+    /// takes `&self` like every concrete evaluation, so readers can share
+    /// the engine. Each element of the result is one [`TupleRows`] — the
+    /// whole database evaluated under the matching valuation.
+    pub fn eval_tuples_batch<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        structure: &S,
+        valuations: &[Valuation<S::Value>],
+        pool: &MemoPool<S::Value>,
+        threads: usize,
+    ) -> Vec<TupleRows<'s, S::Value>> {
+        let threads = resolve_threads(threads);
+        let (names, roots): (Vec<&str>, Vec<NodeId>) =
+            state.tuples.iter().map(|(n, &id)| (n.as_str(), id)).unzip();
+        let rows =
+            par_eval_roots_many_in(&self.arena, &roots, structure, valuations, pool, threads);
+        rows.into_iter()
+            .map(|row| names.iter().copied().zip(row).collect())
+            .collect()
+    }
+
+    /// [`Engine::abort_eval`] for a coalesced burst of transactions: the
+    /// whole-database evaluation schedule is computed once and replayed
+    /// per aborted transaction (see [`Engine::eval_tuples_batch`]). One
+    /// row set per transaction, in `txns` order, each bit-identical to the
+    /// one-at-a-time query. Name resolution is all-or-nothing, like
+    /// [`Engine::abort_symbolic_batch`].
+    pub fn abort_eval_batch<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        txns: &[&str],
+        structure: &S,
+        present: S::Value,
+        threads: usize,
+    ) -> Result<Vec<TupleRows<'s, S::Value>>, QueryError> {
+        let valuations = txns
+            .iter()
+            .map(|&txn| {
+                let p = state.txn_atom(txn).ok_or_else(|| QueryError::UnknownTxn {
+                    name: txn.to_owned(),
+                })?;
+                Ok(Valuation::constant(present.clone()).with(p, structure.zero()))
+            })
+            .collect::<Result<Vec<_>, QueryError>>()?;
+        let pool = MemoPool::new();
+        Ok(self.eval_tuples_batch(state, structure, &valuations, &pool, threads))
+    }
+
     /// Decides whether two replayed logs are equivalent: for every tuple
     /// either log touches, the two provenance expressions must share a
     /// normal form ("Figure 3 + AC spines + `Σ`-as-set"; see
@@ -1313,12 +1477,70 @@ impl Engine {
     /// assert!(engine.equivalent(&s1, &s2).is_equivalent());
     /// ```
     pub fn equivalent(&mut self, a: &ReplayState, b: &ReplayState) -> Equivalence {
-        // Identical ids are already proven equivalent (hash-consing), so
-        // only genuinely differing pairs enter the batch — one linear
-        // merge-join over the two sorted tuple maps, so comparing a state
-        // against an appended successor costs O(#tuples) comparisons plus
-        // normalization of the delta only. A tuple present on one side
-        // only still matches if its provenance is `0` (absent is `0`).
+        let names = Self::differing_candidates(a, b);
+        self.decide_equivalence(&names, a, b, true)
+    }
+
+    /// [`Engine::equivalent`] for a coalesced burst of right-hand states:
+    /// the differing-candidate pairs of **all** `(a, bᵢ)` comparisons
+    /// funnel into one incremental normalization batch, so provenance
+    /// shared across the comparisons (the common prefix of the logs)
+    /// certifies once. One verdict per `bs` entry, in order, each
+    /// bit-identical to the one-at-a-time query.
+    pub fn equivalent_many(&mut self, a: &ReplayState, bs: &[&ReplayState]) -> Vec<Equivalence> {
+        let name_sets: Vec<Vec<&String>> = bs
+            .iter()
+            .map(|b| Self::differing_candidates(a, b))
+            .collect();
+        let mut roots: Vec<NodeId> = Vec::new();
+        for (b, names) in bs.iter().zip(&name_sets) {
+            for name in names {
+                roots.push(a.provenance(name));
+                roots.push(b.provenance(name));
+            }
+        }
+        let outcomes = nf_roots_incremental_in(
+            &mut self.arena,
+            &roots,
+            &mut self.nf_cache,
+            &mut self.nf_memo,
+        );
+        self.enforce_cache_budget();
+        let mut pairs = outcomes.chunks_exact(2);
+        name_sets
+            .iter()
+            .map(|names| {
+                let mut verdict = Equivalence {
+                    differing: Vec::new(),
+                    undecided: Vec::new(),
+                };
+                for name in names {
+                    let pair = pairs.next().expect("one outcome pair per candidate");
+                    let (na, nb) = (&pair[0], &pair[1]);
+                    if na.id == nb.id {
+                        // Equal ids prove equivalence even under saturation.
+                    } else if na.saturated || nb.saturated {
+                        verdict.undecided.push((*name).clone());
+                    } else {
+                        verdict.differing.push((*name).clone());
+                    }
+                }
+                verdict.differing.sort_unstable();
+                verdict.undecided.sort_unstable();
+                verdict
+            })
+            .collect()
+    }
+
+    /// The merge-join behind the equivalence queries: tuple names whose
+    /// provenance ids differ between the two states. Identical ids are
+    /// already proven equivalent (hash-consing), so only genuinely
+    /// differing pairs enter the normalization batch — one linear pass
+    /// over the two sorted tuple maps, so comparing a state against an
+    /// appended successor costs O(#tuples) comparisons plus normalization
+    /// of the delta only. A tuple present on one side only still matches
+    /// if its provenance is `0` (absent is `0`).
+    fn differing_candidates<'n>(a: &'n ReplayState, b: &'n ReplayState) -> Vec<&'n String> {
         let mut names: Vec<&String> = Vec::new();
         let mut ia = a.tuples.iter().peekable();
         let mut ib = b.tuples.iter().peekable();
@@ -1360,7 +1582,7 @@ impl Engine {
                 (None, None) => break,
             }
         }
-        self.decide_equivalence(&names, a, b, true)
+        names
     }
 
     /// [`Engine::equivalent`] bypassing both fast paths: every tuple of

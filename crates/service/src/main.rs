@@ -1,0 +1,198 @@
+//! The `uprov-service` binary: the resident provenance service behind a
+//! line-oriented JSON protocol.
+//!
+//! ```text
+//! uprov-service [--dir PATH] [--listen ADDR] [--readers N] [--eval-threads N]
+//! ```
+//!
+//! With `--listen 127.0.0.1:7117` the service accepts TCP connections,
+//! one protocol session per connection (thread per connection, all
+//! multiplexed onto the one resident engine). Without it, the service
+//! speaks the protocol on stdin/stdout — one request per line, one
+//! response per line — which is how the offline examples and scripts
+//! drive it:
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"op":"append","log":"base x\nbegin t\ninsert x\ncommit\n"}' \
+//!     '{"op":"abort","txn":"t","structure":"bool"}' \
+//!     '{"op":"shutdown"}' | uprov-service
+//! {"ok":"appended","seq":1,"applied":1}
+//! {"ok":"rows","seq":1,"rows":[["x","true"]]}
+//! {"ok":"bye","seq":1}
+//! ```
+//!
+//! `--dir PATH` persists through [`FileStorage`] (snapshot + WAL in
+//! `PATH`, recovered on restart); the default is a process-lifetime
+//! [`MemStorage`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+
+use uprov_service::service::{Client, Service, ServiceConfig};
+use uprov_storage::{DurableEngine, FileStorage, MemStorage, Storage};
+
+struct Args {
+    dir: Option<String>,
+    listen: Option<String>,
+    readers: Option<usize>,
+    eval_threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: None,
+        listen: None,
+        readers: None,
+        eval_threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--readers" => {
+                args.readers = Some(
+                    value("--readers")?
+                        .parse()
+                        .map_err(|e| format!("--readers: {e}"))?,
+                );
+            }
+            "--eval-threads" => {
+                args.eval_threads = Some(
+                    value("--eval-threads")?
+                        .parse()
+                        .map_err(|e| format!("--eval-threads: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: uprov-service [--dir PATH] [--listen ADDR] \
+                     [--readers N] [--eval-threads N]"
+                    .to_owned());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServiceConfig::default();
+    if let Some(n) = args.readers {
+        config.readers = n.max(1);
+    }
+    if let Some(n) = args.eval_threads {
+        config.eval_threads = n;
+    }
+    match &args.dir {
+        Some(dir) => {
+            let storage = match FileStorage::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open `{dir}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            open_and_run(storage, config, args.listen.as_deref())
+        }
+        None => open_and_run(MemStorage::new(), config, args.listen.as_deref()),
+    }
+}
+
+fn open_and_run<S: Storage + Send + Sync + 'static>(
+    storage: S,
+    config: ServiceConfig,
+    listen: Option<&str>,
+) -> ExitCode {
+    let (db, report) = match DurableEngine::open(storage) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("recovery failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.wal_records_applied > 0 || report.truncated.is_some() {
+        eprintln!(
+            "recovered: {} WAL record(s) replayed{}",
+            report.wal_records_applied,
+            if report.truncated.is_some() {
+                ", torn tail truncated"
+            } else {
+                ""
+            }
+        );
+    }
+    let service = Service::start(db, config);
+    match listen {
+        Some(addr) => {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot listen on `{addr}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("listening on {addr}");
+            let mut sessions = Vec::new();
+            for stream in listener.incoming() {
+                // Stop accepting once a client has asked for shutdown.
+                if !service.is_accepting() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let client = service.client();
+                sessions.push(std::thread::spawn(move || serve_stream(stream, &client)));
+            }
+            for session in sessions {
+                let _ = session.join();
+            }
+        }
+        None => {
+            let client = service.client();
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = client.serve_line(&line);
+                if writeln!(stdout, "{reply}").is_err() {
+                    break;
+                }
+                let _ = stdout.flush();
+                if !service.is_accepting() {
+                    break;
+                }
+            }
+        }
+    }
+    service.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn serve_stream<S: Storage + Send + Sync + 'static>(stream: TcpStream, client: &Client<S>) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = client.serve_line(&line);
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Concrete-evaluation plumbing: the named structure catalogue on the
+//! wire, deterministic fingerprint valuations, and value rendering.
+//!
+//! The protocol cannot ship a `Valuation` (clients don't know the
+//! engine's `Atom` numbering, and the service may renumber across
+//! recovery), so concrete queries name a structure and the service
+//! derives every atom's value from a **name fingerprint** — the same
+//! FNV-1a scheme the differential harness uses (`workload/tests/
+//! differential.rs`): the same tuple/transaction name maps to the same
+//! value in *any* engine. That is exactly what lets the concurrency soak
+//! test replay a response's acknowledged prefix in a fresh
+//! single-threaded engine and demand byte-identical rows.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use uprov_core::{Atom, MemoPool, UpdateStructure, Valuation};
+use uprov_engine::{Engine, ReplayState};
+use uprov_structures::{Bool, Clearance, Trust, Witnesses, Worlds};
+
+/// The five verified catalogue structures, as named on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StructureId {
+    /// [`uprov_structures::Bool`] — does the tuple exist?
+    Bool,
+    /// [`uprov_structures::Worlds`] — 64 possible worlds in a `u64`.
+    Worlds,
+    /// [`uprov_structures::Clearance`] — `u16` compartment masks.
+    Clearance,
+    /// [`uprov_structures::Trust`] — `u32` vouching-source masks.
+    Trust,
+    /// [`uprov_structures::Witnesses`] — `BTreeSet<u32>` witness ids.
+    Witnesses,
+}
+
+impl StructureId {
+    /// Every wire-visible structure, in wire-name order.
+    pub const ALL: [StructureId; 5] = [
+        StructureId::Bool,
+        StructureId::Worlds,
+        StructureId::Clearance,
+        StructureId::Trust,
+        StructureId::Witnesses,
+    ];
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StructureId::Bool => "bool",
+            StructureId::Worlds => "worlds",
+            StructureId::Clearance => "clearance",
+            StructureId::Trust => "trust",
+            StructureId::Witnesses => "witnesses",
+        }
+    }
+
+    /// Per-structure fingerprint salt, so the same name takes independent
+    /// values under different structures.
+    fn salt(self) -> u64 {
+        match self {
+            StructureId::Bool => 0xB001,
+            StructureId::Worlds => 0x0301_21D5,
+            StructureId::Clearance => 0xC1EA_4444,
+            StructureId::Trust => 0x7121_5757,
+            StructureId::Witnesses => 0x3177_7E55,
+        }
+    }
+}
+
+impl fmt::Display for StructureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structure name that is not in the catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStructure {
+    /// The offending name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown structure `{}` (expected one of bool, worlds, clearance, trust, witnesses)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownStructure {}
+
+impl FromStr for StructureId {
+    type Err = UnknownStructure;
+
+    fn from_str(s: &str) -> Result<Self, UnknownStructure> {
+        StructureId::ALL
+            .into_iter()
+            .find(|id| id.as_str() == s)
+            .ok_or_else(|| UnknownStructure { name: s.to_owned() })
+    }
+}
+
+/// Deterministic 64-bit FNV-1a fingerprint of a name — engine-independent,
+/// mirroring the differential harness, so service answers and oracle
+/// answers are comparable by construction.
+pub fn name_mask(name: &str, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt.wrapping_mul(0x100_0000_01b3);
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn witness_set(mask: u64) -> BTreeSet<u32> {
+    (0..16).filter(|k| mask >> k & 1 == 1).collect()
+}
+
+/// The fingerprint valuation over every base-tuple and transaction atom of
+/// `state`: atom named `n` takes `mk(name_mask(n, salt))`, anything else
+/// (unreachable in practice) takes `top`.
+fn fingerprint_valuation<S, F>(
+    state: &ReplayState,
+    salt: u64,
+    top: S::Value,
+    mk: F,
+) -> Valuation<S::Value>
+where
+    S: UpdateStructure,
+    F: Fn(u64) -> S::Value,
+{
+    let mut val = Valuation::constant(top);
+    for (name, atom) in state.base_atoms() {
+        val.set(atom, mk(name_mask(name, salt)));
+    }
+    for (name, atom) in state.txn_atoms() {
+        val.set(atom, mk(name_mask(name, salt)));
+    }
+    val
+}
+
+fn rows_generic<S, R>(
+    engine: &Engine,
+    state: &ReplayState,
+    structure: &S,
+    base: Valuation<S::Value>,
+    render: R,
+    zeroed: &[Option<Atom>],
+    threads: usize,
+) -> Vec<Vec<(String, String)>>
+where
+    S: UpdateStructure,
+    R: Fn(&S::Value) -> String,
+{
+    let valuations: Vec<Valuation<S::Value>> = zeroed
+        .iter()
+        .map(|z| match z {
+            None => base.clone(),
+            Some(atom) => base.clone().with(*atom, structure.zero()),
+        })
+        .collect();
+    let pool = MemoPool::new();
+    engine
+        .eval_tuples_batch(state, structure, &valuations, &pool, threads)
+        .into_iter()
+        .map(|rows| {
+            rows.into_iter()
+                .map(|(name, v)| (name.to_owned(), render(&v)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Evaluates every tuple of `state` under `id`'s fingerprint valuation,
+/// once per entry of `zeroed` — `None` is the plain whole-database query,
+/// `Some(atom)` zeroes that atom first (the concrete abort /
+/// deletion-propagation what-if). All entries share **one** evaluation
+/// schedule ([`Engine::eval_tuples_batch`]); each result is bit-identical
+/// to asking alone. Rows come back in sorted tuple order with values
+/// rendered in each structure's canonical textual form.
+pub fn eval_rows_batch(
+    engine: &Engine,
+    state: &ReplayState,
+    id: StructureId,
+    zeroed: &[Option<Atom>],
+    threads: usize,
+) -> Vec<Vec<(String, String)>> {
+    let salt = id.salt();
+    match id {
+        // Mostly-present databases make deletion propagation visible
+        // under Bool: 7 of 8 fingerprints are truthy.
+        StructureId::Bool => rows_generic(
+            engine,
+            state,
+            &Bool,
+            fingerprint_valuation::<Bool, _>(state, salt, true, |m| m & 7 != 0),
+            |v| v.to_string(),
+            zeroed,
+            threads,
+        ),
+        StructureId::Worlds => rows_generic(
+            engine,
+            state,
+            &Worlds,
+            fingerprint_valuation::<Worlds, _>(state, salt, u64::MAX, |m| m),
+            |v| format!("{v:#018x}"),
+            zeroed,
+            threads,
+        ),
+        StructureId::Clearance => rows_generic(
+            engine,
+            state,
+            &Clearance,
+            fingerprint_valuation::<Clearance, _>(state, salt, u16::MAX, |m| m as u16),
+            |v| format!("{v:#06x}"),
+            zeroed,
+            threads,
+        ),
+        StructureId::Trust => rows_generic(
+            engine,
+            state,
+            &Trust,
+            fingerprint_valuation::<Trust, _>(state, salt, u32::MAX, |m| m as u32),
+            |v| format!("{v:#010x}"),
+            zeroed,
+            threads,
+        ),
+        StructureId::Witnesses => rows_generic(
+            engine,
+            state,
+            &Witnesses,
+            fingerprint_valuation::<Witnesses, _>(state, salt, witness_set(u64::MAX), witness_set),
+            |v| {
+                let ids: Vec<String> = v.iter().map(|w| w.to_string()).collect();
+                format!("{{{}}}", ids.join(","))
+            },
+            zeroed,
+            threads,
+        ),
+    }
+}
+
+/// [`eval_rows_batch`] for one query.
+pub fn eval_rows(
+    engine: &Engine,
+    state: &ReplayState,
+    id: StructureId,
+    zeroed: Option<Atom>,
+    threads: usize,
+) -> Vec<(String, String)> {
+    eval_rows_batch(engine, state, id, &[zeroed], threads)
+        .pop()
+        .expect("one query in, one row set out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_ids_round_trip() {
+        for id in StructureId::ALL {
+            assert_eq!(id.as_str().parse::<StructureId>(), Ok(id));
+        }
+        assert!("boolean".parse::<StructureId>().is_err());
+    }
+
+    #[test]
+    fn batched_rows_match_single_queries() {
+        let mut engine = Engine::new();
+        let log = "base x\nbase y\nbegin t\ninsert x\nmodify z <- y\ncommit\n"
+            .parse()
+            .unwrap();
+        let state = engine.replay(&log).unwrap();
+        let t = state.txn_atom("t").unwrap();
+        let y = state.base_atom("y").unwrap();
+        for id in StructureId::ALL {
+            let zeroed = [None, Some(t), Some(y)];
+            let batched = eval_rows_batch(&engine, &state, id, &zeroed, 2);
+            for (z, batch_rows) in zeroed.iter().zip(&batched) {
+                let single = eval_rows(&engine, &state, id, *z, 1);
+                assert_eq!(&single, batch_rows, "{id}: batch diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_engine_independent() {
+        // Two engines replaying different logs that share names: shared
+        // names get identical values despite different atom numbering.
+        let mut e1 = Engine::new();
+        let s1 = e1
+            .replay(
+                &"base a\nbase b\nbegin t\ninsert b\ncommit\n"
+                    .parse()
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut e2 = Engine::new();
+        let s2 = e2
+            .replay(&"base b\nbegin t\ninsert b\ncommit\n".parse().unwrap())
+            .unwrap();
+        for id in StructureId::ALL {
+            let r1 = eval_rows(&e1, &s1, id, None, 1);
+            let r2 = eval_rows(&e2, &s2, id, None, 1);
+            let b1 = r1.iter().find(|(n, _)| n == "b").unwrap();
+            let b2 = r2.iter().find(|(n, _)| n == "b").unwrap();
+            assert_eq!(b1.1, b2.1, "{id}: value of b must not depend on the engine");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Protocol round-trip suite: printing is a fixed point, parsing is
+//! total.
+//!
+//! Mirrors the PR 6 `log.rs` hardening for the service's wire format:
+//! every [`Request`]/[`Response`] variant survives print → parse →
+//! reprint byte-identically (including adversarial payload strings), and
+//! arbitrary malformed input — truncations, bit flips, wrong shapes,
+//! seeded garbage — yields a typed [`ProtoError`], never a panic and
+//! never a bogus accept of a mutated-but-different message.
+
+use std::str::FromStr;
+
+use benchkit::TestRng;
+use uprov_service::proto::{ErrorKind, ProtoError, Request, Response, SymbolicRow};
+use uprov_service::values::StructureId;
+
+/// Payload strings chosen to stress the escaper: quotes, backslashes,
+/// newlines (every update log has them), tabs, control bytes, non-ASCII.
+fn nasty_strings() -> Vec<String> {
+    vec![
+        String::new(),
+        "plain".to_owned(),
+        "base x\nbegin t\ninsert x\ncommit\n".to_owned(),
+        "quote\" backslash\\ slash/ tab\t cr\r nl\n".to_owned(),
+        "control \u{1} \u{1f} high \u{7f}".to_owned(),
+        "unicode: αβγ 提供 🦀".to_owned(),
+        "{\"op\":\"append\"}".to_owned(), // JSON-in-JSON
+    ]
+}
+
+fn request_zoo() -> Vec<Request> {
+    let mut zoo = Vec::new();
+    for s in nasty_strings() {
+        zoo.push(Request::Append { log: s.clone() });
+        zoo.push(Request::Equiv { log: s.clone() });
+        zoo.push(Request::AbortSymbolic { txn: s });
+    }
+    for structure in StructureId::ALL {
+        zoo.push(Request::EvalAll { structure });
+        zoo.push(Request::AbortEval {
+            txn: "txn0".to_owned(),
+            structure,
+        });
+        zoo.push(Request::DeleteBaseEval {
+            tuple: "r0_k1".to_owned(),
+            structure,
+        });
+    }
+    zoo.push(Request::Snapshot);
+    zoo.push(Request::Stats);
+    zoo.push(Request::SetBudget { entries: None });
+    zoo.push(Request::SetBudget { entries: Some(0) });
+    zoo.push(Request::SetBudget {
+        entries: Some(u64::MAX),
+    });
+    zoo.push(Request::Shutdown);
+    zoo
+}
+
+fn response_zoo() -> Vec<Response> {
+    let mut zoo = vec![
+        Response::Appended { seq: 0, applied: 0 },
+        Response::Appended {
+            seq: u64::MAX,
+            applied: 17,
+        },
+        Response::Rows {
+            seq: 3,
+            rows: vec![],
+        },
+        Response::Snapshotted { seq: 9 },
+        Response::Stats {
+            seq: 1,
+            tuples: 2,
+            nodes: 3,
+            cached: 4,
+            batches: 5,
+            coalesced: 6,
+        },
+        Response::BudgetSet { seq: 12 },
+        Response::Bye { seq: 13 },
+        Response::Equiv {
+            seq: 7,
+            equivalent: true,
+            differing: vec![],
+            undecided: vec![],
+        },
+    ];
+    for s in nasty_strings() {
+        zoo.push(Response::Rows {
+            seq: 5,
+            rows: vec![(s.clone(), "true".to_owned()), ("y".to_owned(), s.clone())],
+        });
+        zoo.push(Response::Symbolic {
+            seq: 6,
+            rows: vec![
+                SymbolicRow {
+                    name: s.clone(),
+                    provenance: "x +I t".to_owned(),
+                    saturated: false,
+                },
+                SymbolicRow {
+                    name: "y".to_owned(),
+                    provenance: s.clone(),
+                    saturated: true,
+                },
+            ],
+        });
+        zoo.push(Response::Equiv {
+            seq: 8,
+            equivalent: false,
+            differing: vec![s.clone(), "x".to_owned()],
+            undecided: vec![s.clone()],
+        });
+    }
+    for kind in [
+        ErrorKind::Parse,
+        ErrorKind::Replay,
+        ErrorKind::Query,
+        ErrorKind::Overloaded,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Io,
+    ] {
+        for s in nasty_strings() {
+            zoo.push(Response::Error { kind, message: s });
+        }
+    }
+    zoo
+}
+
+/// print → parse → reprint reaches a fixed point in one step, for every
+/// variant and every adversarial payload.
+#[test]
+fn every_request_reaches_a_print_fixed_point() {
+    for req in request_zoo() {
+        let printed = req.to_string();
+        let reparsed =
+            Request::from_str(&printed).unwrap_or_else(|e| panic!("{printed:?} rejected: {e}"));
+        assert_eq!(reparsed, req, "value round-trip: {printed}");
+        assert_eq!(reparsed.to_string(), printed, "print fixed point");
+    }
+}
+
+#[test]
+fn every_response_reaches_a_print_fixed_point() {
+    for resp in response_zoo() {
+        let printed = resp.to_string();
+        let reparsed =
+            Response::from_str(&printed).unwrap_or_else(|e| panic!("{printed:?} rejected: {e}"));
+        assert_eq!(reparsed, resp, "value round-trip: {printed}");
+        assert_eq!(reparsed.to_string(), printed, "print fixed point");
+    }
+}
+
+/// Responses never parse as requests and vice versa (the codecs share the
+/// JSON layer but not the shapes) — a transposed line is a typed error,
+/// not a confused accept.
+#[test]
+fn requests_and_responses_do_not_cross_parse() {
+    for req in request_zoo() {
+        assert!(
+            req.to_string().parse::<Response>().is_err(),
+            "response parser accepted a request: {req}"
+        );
+    }
+    for resp in response_zoo() {
+        assert!(
+            resp.to_string().parse::<Request>().is_err(),
+            "request parser accepted a response: {resp}"
+        );
+    }
+}
+
+/// Hand-picked malformed lines: each must fail with a typed error whose
+/// message is non-empty (it goes to the client verbatim).
+#[test]
+fn malformed_lines_yield_typed_errors() {
+    let cases: &[&str] = &[
+        "",
+        " ",
+        "null",
+        "-1",
+        "1.5",
+        "1e3",
+        "\"just a string\"",
+        "[]",
+        "{}",
+        "{\"op\":\"append\"}",                             // missing log
+        "{\"op\":\"append\",\"log\":3}",                   // wrong type
+        "{\"op\":\"append\",\"log\":\"x\"",                // unterminated object
+        "{\"op\":\"append\",\"log\":\"x\"} extra",         // trailing garbage
+        "{\"op\":\"append\",\"log\":\"x\",\"log\":\"y\"}", // duplicate key
+        "{\"op\":\"nope\"}",                               // unknown op
+        "{\"op\":\"eval\",\"structure\":\"boolean\"}",     // unknown structure
+        "{\"op\":\"set_budget\",\"entries\":-3}",          // negative int
+        "{\"op\":\"set_budget\",\"entries\":99999999999999999999999}", // overflow
+        "{\"op\":\"abort\",\"txn\":\"t\\q\",\"structure\":\"bool\"}", // bad escape
+        "{\"op\":\"abort\",\"txn\":\"t\\u12\",\"structure\":\"bool\"}", // short \u
+        "{\"op\":\"abort\",\"txn\":\"t\\ud800\",\"structure\":\"bool\"}", // surrogate
+        "{\"op\":\"stats\",}",                             // trailing comma
+        "{\"op\" \"stats\"}",                              // missing colon
+        "{op:\"stats\"}",                                  // unquoted key
+    ];
+    for line in cases {
+        let err = line
+            .parse::<Request>()
+            .expect_err(&format!("accepted: {line:?}"));
+        assert!(
+            !err.to_string().is_empty(),
+            "error message must be client-presentable"
+        );
+    }
+    // Response-side shapes fail too.
+    for line in [
+        "{\"ok\":\"rows\",\"seq\":1,\"rows\":[[\"x\"]]}", // short row
+        "{\"ok\":\"rows\",\"seq\":1,\"rows\":[[\"x\",\"y\",\"z\"]]}", // long row
+        "{\"ok\":\"symbolic\",\"seq\":1,\"rows\":[[\"x\",\"e\",\"no\"]]}", // bool as string
+        "{\"err\":\"nope\",\"message\":\"m\"}",           // unknown kind
+        "{\"ok\":\"stats\",\"seq\":1}",                   // missing counters
+    ] {
+        assert!(line.parse::<Response>().is_err(), "accepted: {line:?}");
+    }
+}
+
+/// Seeded fuzz: random mutations of valid lines (truncate, flip, insert)
+/// either parse to *some* value whose reprint is again a fixed point, or
+/// fail with a typed error. Never a panic; mutated accepts must be
+/// well-formed, not echoes of luck.
+#[test]
+fn mutated_lines_never_panic_and_accepts_are_canonical() {
+    let mut rng = TestRng::new(0x9707_0C01);
+    let zoo = request_zoo();
+    for round in 0..2000 {
+        let base = zoo[rng.below(zoo.len())].to_string();
+        let mut bytes = base.clone().into_bytes();
+        match rng.below(3) {
+            0 => {
+                // Truncate somewhere.
+                let at = rng.below(bytes.len() + 1);
+                bytes.truncate(at);
+            }
+            1 => {
+                // Flip a byte.
+                if !bytes.is_empty() {
+                    let at = rng.below(bytes.len());
+                    bytes[at] ^= 1 << rng.below(8);
+                }
+            }
+            _ => {
+                // Insert a random byte.
+                let at = rng.below(bytes.len() + 1);
+                bytes.insert(at, rng.below(256) as u8);
+            }
+        }
+        // Invalid UTF-8 can't even reach the parser through &str; skip.
+        let Ok(line) = String::from_utf8(bytes) else {
+            continue;
+        };
+        match line.parse::<Request>() {
+            Ok(req) => {
+                let printed = req.to_string();
+                let again: Request = printed
+                    .parse()
+                    .unwrap_or_else(|e| panic!("round {round}: own print rejected: {e}"));
+                assert_eq!(again, req, "round {round}: accept must be canonical");
+            }
+            Err(ProtoError::Json { .. } | ProtoError::Shape { .. }) => {}
+        }
+    }
+}

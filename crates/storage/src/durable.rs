@@ -302,6 +302,64 @@ impl<S: Storage> DurableEngine<S> {
         Ok(applied)
     }
 
+    /// Group commit: appends a batch of logs behind **one** fsync barrier.
+    ///
+    /// Each log validates and applies (to a scratch copy of the state) in
+    /// order, so later logs in the batch see earlier ones — exactly the
+    /// semantics of calling [`DurableEngine::append`] once per log, at one
+    /// barrier instead of `n`. Verdicts are per log: a rejected log gets
+    /// its [`ReplayError`] and writes nothing, while the accepted ones
+    /// around it proceed. The returned `Vec` is in `logs` order.
+    ///
+    /// Failure atomicity matches the single-append path, batch-wide: on a
+    /// storage `Err` **no** log of the batch is applied (the scratch state
+    /// is dropped, the possibly-torn WAL suffix is truncated before the
+    /// next write), so a batch is never half-visible — the property the
+    /// concurrency soak test pins from the outside.
+    pub fn append_many(
+        &mut self,
+        logs: &[UpdateLog],
+    ) -> Result<Vec<Result<usize, ReplayError>>, DurableError> {
+        let mut scratch = self.state.clone();
+        let mut verdicts: Vec<Result<usize, ReplayError>> = Vec::with_capacity(logs.len());
+        let mut records = Vec::new();
+        let mut seq = self.seq;
+        for log in logs {
+            // `Engine::append` validates before applying, so a rejected
+            // log leaves `scratch` untouched and the batch marches on.
+            match self.engine.append(&mut scratch, log) {
+                Ok(applied) => {
+                    records.extend_from_slice(&wal::encode_record(seq, log));
+                    seq += 1;
+                    verdicts.push(Ok(applied));
+                }
+                Err(e) => verdicts.push(Err(e)),
+            }
+        }
+        if records.is_empty() {
+            // Nothing accepted: no WAL traffic, no state change.
+            return Ok(verdicts);
+        }
+        if self.wal_dirty {
+            self.storage.truncate(WAL_BLOB, self.wal_len)?;
+            self.wal_dirty = false;
+        }
+        let mut bytes = Vec::new();
+        if self.wal_len == 0 {
+            bytes.extend_from_slice(&WAL_MAGIC);
+        }
+        bytes.extend_from_slice(&records);
+        self.wal_dirty = true;
+        self.storage.append(WAL_BLOB, &bytes)?;
+        self.storage.sync(WAL_BLOB)?;
+        // One barrier for the whole batch; only now does it become visible.
+        self.wal_dirty = false;
+        self.wal_len += bytes.len() as u64;
+        self.seq = seq;
+        self.state = scratch;
+        Ok(verdicts)
+    }
+
     /// Checkpoints: atomically replaces the snapshot, then resets the WAL
     /// to magic-only. Crash-safe in both halves (module docs).
     pub fn snapshot(&mut self) -> Result<(), DurableError> {
@@ -389,6 +447,92 @@ mod tests {
         let err = db.append(&"base a\n".parse().unwrap()).unwrap_err();
         assert!(matches!(err, DurableError::Replay(_)));
         assert_eq!(db.storage().blob(WAL_BLOB).unwrap(), &wal_before[..]);
+        assert_eq!(db.seq(), 1);
+    }
+
+    #[test]
+    fn append_many_matches_sequential_appends_at_one_barrier() {
+        let logs: Vec<UpdateLog> = [
+            "base a\nbegin t1\ninsert b\ncommit\n",
+            "begin t2\nmodify c <- b\ncommit\n",
+            "begin t3\ndelete a\ncommit\n",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+
+        let (mut batch, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        let syncs0 = batch.storage().syncs();
+        let verdicts = batch.append_many(&logs).expect("storage healthy");
+        assert!(verdicts.iter().all(|v| v.is_ok()));
+        assert_eq!(
+            batch.storage().syncs(),
+            syncs0 + 1,
+            "one barrier for the whole batch"
+        );
+        assert_eq!(batch.seq(), 3);
+
+        let (mut one_by_one, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        for log in &logs {
+            one_by_one.append(log).unwrap();
+        }
+        assert_eq!(
+            batch.state().to_snapshot(),
+            one_by_one.state().to_snapshot()
+        );
+        // The WAL bytes are identical too, so recovery cannot tell the
+        // two histories apart.
+        assert_eq!(
+            batch.storage().blob(WAL_BLOB),
+            one_by_one.storage().blob(WAL_BLOB)
+        );
+        let (recovered, report) = DurableEngine::open(batch.into_storage()).unwrap();
+        assert_eq!(report.wal_records_applied, 3);
+        assert_eq!(
+            recovered.state().to_snapshot(),
+            one_by_one.state().to_snapshot()
+        );
+    }
+
+    #[test]
+    fn append_many_rejects_per_log_and_later_logs_see_earlier_ones() {
+        let (mut db, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        let logs: Vec<UpdateLog> = [
+            "base a\n",
+            "base a\n", // late base: rejected, batch continues
+            "begin t\ninsert a\ncommit\n",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let verdicts = db.append_many(&logs).unwrap();
+        assert!(verdicts[0].is_ok());
+        assert!(
+            matches!(&verdicts[1], Err(ReplayError::LateBase { name }) if name == "a"),
+            "the second log re-declares a tuple the first one (same batch) declared"
+        );
+        assert!(verdicts[2].is_ok());
+        assert_eq!(db.seq(), 2, "only accepted logs take sequence numbers");
+        let (recovered, report) = DurableEngine::open(db.into_storage()).unwrap();
+        assert_eq!(report.wal_records_applied, 2);
+        assert_eq!(recovered.seq(), 2);
+    }
+
+    #[test]
+    fn append_many_of_all_rejected_logs_writes_nothing() {
+        let (mut db, _) = DurableEngine::open(MemStorage::new()).unwrap();
+        db.append(&"base a\n".parse().unwrap()).unwrap();
+        let wal_before = db.storage().blob(WAL_BLOB).unwrap().to_vec();
+        let syncs0 = db.storage().syncs();
+        let logs: Vec<UpdateLog> = vec!["base a\n".parse().unwrap(), "base a\n".parse().unwrap()];
+        let verdicts = db.append_many(&logs).unwrap();
+        assert!(verdicts.iter().all(|v| v.is_err()));
+        assert_eq!(db.storage().blob(WAL_BLOB).unwrap(), &wal_before[..]);
+        assert_eq!(
+            db.storage().syncs(),
+            syncs0,
+            "no barrier when nothing commits"
+        );
         assert_eq!(db.seq(), 1);
     }
 
