@@ -648,7 +648,15 @@ impl ExprArena {
     /// point of the representation.
     pub fn expand_counted(&mut self, root: NodeId) -> NodeId {
         let mut memo = DenseMemo::new();
-        self.rewrite_pass_in(root, &mut memo, &mut |ar, rebuilt| {
+        self.expand_counted_in(root, &mut memo)
+    }
+
+    /// [`ExprArena::expand_counted`] with a caller-provided memo — the
+    /// pooling variant for loops that expand many roots (the differential
+    /// harness, the condensation benchmarks) and want to reuse one
+    /// allocation across calls.
+    pub fn expand_counted_in(&mut self, root: NodeId, memo: &mut DenseMemo<NodeId>) -> NodeId {
+        self.rewrite_pass_in(root, memo, &mut |ar, rebuilt| {
             let Node::Counted(op, head, entries) = ar.node(rebuilt) else {
                 return rebuilt;
             };

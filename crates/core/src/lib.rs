@@ -55,7 +55,10 @@ pub use nf::{
     nf_roots_incremental_budget_in, nf_roots_incremental_in, try_equiv_budget_in, try_equiv_in,
     EpochMap, NfCache, NfMemo, NfOutcome, MAX_ROUNDS,
 };
-pub use oracle::{check_nf_preserves_eval, check_parallel_matches_serial, OracleDivergence};
+pub use oracle::{
+    check_nf_preserves_eval, check_nf_preserves_eval_in, check_parallel_matches_serial,
+    check_parallel_matches_serial_in, OracleDivergence,
+};
 pub use parallel::{
     par_eval_many_in, par_eval_many_scoped_in, par_eval_roots_in, par_eval_roots_many_in,
     par_eval_roots_scoped_in, resolve_threads, MemoPool,

@@ -54,7 +54,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// One in-flight [`WorkerPool::run`] call, shared between the caller and
@@ -136,6 +136,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("uprov-pool-{i}"))
                     .spawn(move || resident_loop(&shared))
+                    // lint: allow(panic, reason = "spawn fails only on OS thread exhaustion while constructing the pool; there is no degraded mode to fall back to")
                     .expect("spawn pool worker")
             })
             .collect();
@@ -208,9 +209,17 @@ impl WorkerPool {
             all_done: Condvar::new(),
         });
 
+        // Every lock below recovers from poisoning instead of unwrapping:
+        // each critical section leaves the queue/latch consistent at every
+        // panic point (worker-body panics are caught before the latch
+        // update), so a poisoned guard's data is still valid.
         let helpers = (workers - 1).min(self.residents());
         if helpers > 0 {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for _ in 0..helpers {
                 queue.tasks.push_back(Arc::clone(&ctx));
             }
@@ -225,16 +234,17 @@ impl WorkerPool {
         // The caller is worker number one: claim and execute until the
         // counter runs dry, then wait for residents to finish their claims.
         claim_and_execute(&self.shared, &ctx);
-        let mut done = ctx.done.lock().expect("pool latch poisoned");
+        let mut done = ctx.done.lock().unwrap_or_else(PoisonError::into_inner);
         while done.remaining > 0 {
             done = ctx
                 .all_done
                 .wait(done)
-                .expect("pool latch poisoned while waiting");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let panicked = done.panicked;
         drop(done);
         if panicked {
+            // lint: allow(panic, reason = "deliberate propagation: a worker body panicked and the scoped-harness contract is to re-panic on the calling thread after every body finished")
             panic!("evaluation worker panicked");
         }
     }
@@ -243,7 +253,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             queue.shutdown = true;
         }
         self.shared.task_ready.notify_all();
@@ -256,7 +270,7 @@ impl Drop for WorkerPool {
 fn resident_loop(shared: &Shared) {
     loop {
         let ctx = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(ctx) = queue.tasks.pop_front() {
                     break ctx;
@@ -269,7 +283,7 @@ fn resident_loop(shared: &Shared) {
                 queue = shared
                     .task_ready
                     .wait(queue)
-                    .expect("pool queue poisoned while parked");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         claim_and_execute(shared, &ctx);
@@ -291,7 +305,7 @@ fn claim_and_execute(shared: &Shared, ctx: &RunCtx) {
         // closure is alive.
         let body = unsafe { &*ctx.body };
         let ok = catch_unwind(AssertUnwindSafe(|| body(claim))).is_ok();
-        let mut done = ctx.done.lock().expect("pool latch poisoned");
+        let mut done = ctx.done.lock().unwrap_or_else(PoisonError::into_inner);
         done.remaining -= 1;
         if !ok {
             done.panicked = true;

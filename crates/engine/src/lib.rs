@@ -1435,6 +1435,23 @@ impl Engine {
         present: S::Value,
         threads: usize,
     ) -> Result<Vec<TupleRows<'s, S::Value>>, QueryError> {
+        let pool = MemoPool::new();
+        self.abort_eval_batch_in(state, txns, structure, present, &pool, threads)
+    }
+
+    /// [`Engine::abort_eval_batch`] with a caller-provided shard-memo
+    /// pool — the pooling variant for services that answer abort bursts
+    /// repeatedly and want the per-shard memo allocations reused across
+    /// batches.
+    pub fn abort_eval_batch_in<'s, S: UpdateStructure>(
+        &self,
+        state: &'s ReplayState,
+        txns: &[&str],
+        structure: &S,
+        present: S::Value,
+        pool: &MemoPool<S::Value>,
+        threads: usize,
+    ) -> Result<Vec<TupleRows<'s, S::Value>>, QueryError> {
         let valuations = txns
             .iter()
             .map(|&txn| {
@@ -1444,8 +1461,7 @@ impl Engine {
                 Ok(Valuation::constant(present.clone()).with(p, structure.zero()))
             })
             .collect::<Result<Vec<_>, QueryError>>()?;
-        let pool = MemoPool::new();
-        Ok(self.eval_tuples_batch(state, structure, &valuations, &pool, threads))
+        Ok(self.eval_tuples_batch(state, structure, &valuations, pool, threads))
     }
 
     /// Decides whether two replayed logs are equivalent: for every tuple

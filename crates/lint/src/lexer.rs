@@ -1,0 +1,497 @@
+//! A string/comment-aware token scanner for Rust source — the substrate
+//! every lint pass runs on.
+//!
+//! This is deliberately **not** a Rust parser. The passes only need to see
+//! the token *stream* with three guarantees the raw text cannot give them:
+//!
+//! 1. Nothing inside a string, raw string, byte string, char literal or
+//!    comment is ever mistaken for code (`"unwrap()"` in a doc example must
+//!    not trip the panic-freedom pass).
+//! 2. Comments are tokens, not noise — the `// SAFETY:` audit and the
+//!    `// lint: allow(...)` escape hatch read them.
+//! 3. Every token knows the 1-based source line it starts on, so
+//!    diagnostics carry exact `file:line` locations.
+//!
+//! Lexing is total in the sense the storage codec is: arbitrary bytes
+//! produce either a token stream or a typed [`LexError`] with a line
+//! number, never a panic. The property test in `tests/lexer_prop.rs` pins
+//! the stability contract: injecting comments or string literals between
+//! tokens never changes the non-comment token stream.
+
+use std::fmt;
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime or loop label, e.g. `'a`.
+    Lifetime,
+    /// A numeric literal (integer or float, any base).
+    Number,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`.
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment (plain, `///` doc, or `//!` inner doc) up to
+    /// end-of-line.
+    LineComment,
+    /// A `/* … */` comment, nesting respected. Doc block comments
+    /// (`/** … */`) included.
+    BlockComment,
+    /// A single punctuation byte (`.`, `(`, `[`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The exact source slice of the token.
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == p as u8
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// A lexing failure: the bytes do not spell a token stream. Reported with
+/// the line it was detected on — the CLI surfaces it as a diagnostic, not
+/// a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct's start.
+    pub line: u32,
+    /// What the scanner was inside when the input ran out or made no
+    /// sense.
+    pub message: &'static str,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn err(&self, line: u32, message: &'static str) -> LexError {
+        LexError { line, message }
+    }
+
+    fn slice(&self, start: usize) -> &'a str {
+        self.src.get(start..self.pos).unwrap_or("")
+    }
+
+    /// Consumes `//…` to end of line (newline not included).
+    fn line_comment(&mut self, start: usize, line: u32) -> Token<'a> {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        Token {
+            kind: TokKind::LineComment,
+            text: self.slice(start),
+            line,
+        }
+    }
+
+    /// Consumes `/* … */` with nesting.
+    fn block_comment(&mut self, start: usize, line: u32) -> Result<Token<'a>, LexError> {
+        self.bump(); // `/`
+        self.bump(); // `*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return Err(self.err(line, "unterminated block comment")),
+            }
+        }
+        Ok(Token {
+            kind: TokKind::BlockComment,
+            text: self.slice(start),
+            line,
+        })
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honoring
+    /// `\` escapes.
+    fn string_body(&mut self, line: u32) -> Result<(), LexError> {
+        loop {
+            match self.peek(0) {
+                None => return Err(self.err(line, "unterminated string literal")),
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_none() {
+                        return Err(self.err(line, "unterminated string escape"));
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the current `r` (hashes counted),
+    /// assuming the caller verified `r#*"` is ahead.
+    fn raw_string_body(&mut self, line: u32) -> Result<(), LexError> {
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return Err(self.err(line, "malformed raw string opener"));
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => return Err(self.err(line, "unterminated raw string literal")),
+                Some(b'"') => {
+                    self.bump();
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some(b'#') {
+                        matched += 1;
+                        self.bump();
+                    }
+                    if matched == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a char/byte literal body (opening `'` already consumed).
+    fn char_body(&mut self, line: u32) -> Result<(), LexError> {
+        match self.peek(0) {
+            None => return Err(self.err(line, "unterminated character literal")),
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_none() {
+                    return Err(self.err(line, "unterminated character escape"));
+                }
+                self.bump();
+            }
+            Some(_) => self.bump(),
+        }
+        // `'x'` closes immediately; `'abc'` is not valid Rust but the
+        // scanner stays total: consume to the closing quote.
+        while let Some(b) = self.peek(0) {
+            if b == b'\'' {
+                self.bump();
+                return Ok(());
+            }
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        Err(self.err(line, "unterminated character literal"))
+    }
+
+    /// True when the bytes at the cursor open a raw string (`r"`, `r#…"`),
+    /// as opposed to a raw identifier (`r#fn`).
+    fn raw_string_ahead(&self) -> bool {
+        if self.peek(0) != Some(b'r') {
+            return false;
+        }
+        let mut ahead = 1;
+        while self.peek(ahead) == Some(b'#') {
+            ahead += 1;
+        }
+        ahead > 0 && self.peek(ahead) == Some(b'"')
+    }
+}
+
+/// Lexes `src` into tokens (whitespace dropped, comments kept). Total:
+/// arbitrary input yields tokens or a typed [`LexError`], never a panic.
+pub fn lex(src: &str) -> Result<Vec<Token<'_>>, LexError> {
+    let mut s = Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = s.peek(0) {
+        let start = s.pos;
+        let line = s.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => s.bump(),
+            b'/' if s.peek(1) == Some(b'/') => out.push(s.line_comment(start, line)),
+            b'/' if s.peek(1) == Some(b'*') => out.push(s.block_comment(start, line)?),
+            b'"' => {
+                s.bump();
+                s.string_body(line)?;
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            b'\'' => {
+                s.bump();
+                // Lifetime vs char literal: `'a` followed by another `'`
+                // is the char `'a'`; `'a` followed by anything else is a
+                // lifetime. Escapes are always char literals.
+                let is_lifetime = match (s.peek(0), s.peek(1)) {
+                    (Some(b'\\'), _) => false,
+                    (Some(c), Some(b'\'')) if c != b'\'' => false,
+                    (Some(c), _) if is_ident_start(c) => true,
+                    _ => false,
+                };
+                if is_lifetime {
+                    while s.peek(0).is_some_and(is_ident_continue) {
+                        s.bump();
+                    }
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: s.slice(start),
+                        line,
+                    });
+                } else {
+                    s.char_body(line)?;
+                    out.push(Token {
+                        kind: TokKind::Char,
+                        text: s.slice(start),
+                        line,
+                    });
+                }
+            }
+            b'r' if s.raw_string_ahead() => {
+                s.raw_string_body(line)?;
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            b'b' | b'c' if s.peek(1) == Some(b'"') => {
+                s.bump();
+                s.bump();
+                s.string_body(line)?;
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            b'b' if s.peek(1) == Some(b'\'') => {
+                s.bump();
+                s.bump();
+                s.char_body(line)?;
+                out.push(Token {
+                    kind: TokKind::Char,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            b'b' if s.peek(1) == Some(b'r') && {
+                let mut ahead = 2;
+                while s.peek(ahead) == Some(b'#') {
+                    ahead += 1;
+                }
+                s.peek(ahead) == Some(b'"')
+            } =>
+            {
+                s.bump(); // `b`; raw_string_body consumes from the `r`
+                s.raw_string_body(line)?;
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                s.bump();
+                // Raw identifier: `r#fn` — consume the `#` and keep going.
+                if b == b'r' && s.peek(0) == Some(b'#') && s.peek(1).is_some_and(is_ident_start) {
+                    s.bump();
+                }
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                s.bump();
+                loop {
+                    match s.peek(0) {
+                        Some(c) if is_ident_continue(c) => s.bump(),
+                        // A float's dot, but not a range's: `1.5` yes,
+                        // `1..n` no.
+                        Some(b'.')
+                            if s.peek(1).is_some_and(|c| c.is_ascii_digit())
+                                && !s.slice(start).contains('.') =>
+                        {
+                            s.bump()
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Number,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+            _ => {
+                s.bump();
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: s.slice(start),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let toks = kinds("let s = \"x.unwrap()\"; // unwrap() here too\n");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || *t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; x"####);
+        assert_eq!(toks[3], (TokKind::Str, r###"r#"quote " inside"#"###));
+        assert_eq!(toks[5], (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokKind::Char, "'b'")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c").expect("lexes");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_are_typed_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("r#\"abc").is_err());
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let toks = kinds("let r#fn = 1;");
+        assert_eq!(toks[1], (TokKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds("b\"x\" br#\"y\"# b'z' c\"w\"");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, "b\"x\""),
+                (TokKind::Str, "br#\"y\"#"),
+                (TokKind::Char, "b'z'"),
+                (TokKind::Str, "c\"w\""),
+            ]
+        );
+    }
+}

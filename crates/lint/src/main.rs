@@ -1,0 +1,96 @@
+//! The `uprov-lint` CLI: `cargo run -p uprov-lint -- check [--json]
+//! [--root PATH]`.
+//!
+//! Exit status is the contract CI builds on: `0` when the tree is clean,
+//! `1` when any pass produced a diagnostic, `2` on usage or I/O errors.
+//! `--json` prints one JSON object per finding (the same tiny dialect
+//! the service protocol speaks) followed by a summary object, for
+//! tooling that wants to consume the report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uprov_lint::check_workspace;
+
+struct Args {
+    json: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => {
+            return Err("usage: uprov-lint check [--json] [--root PATH]".to_owned());
+        }
+        Some(other) => return Err(format!("unknown command `{other}` (try `check`)")),
+    }
+    let mut args = Args {
+        json: false,
+        root: find_workspace_root(),
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_owned())?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo
+/// (this crate lives at `crates/lint`), else the current directory.
+fn find_workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match check_workspace(&args.root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("cannot walk `{}`: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        for d in &diags {
+            println!("{}", d.to_json());
+        }
+        println!("{{\"summary\":{{\"diagnostics\":{}}}}}", diags.len());
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("uprov-lint: workspace clean");
+        } else {
+            eprintln!("uprov-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,474 @@
+//! The pass pipeline: four token-level checks, each enforcing one
+//! invariant the system states in prose elsewhere.
+//!
+//! | pass     | invariant                                                        |
+//! |----------|------------------------------------------------------------------|
+//! | `panic`  | declared no-panic zones contain no panicking construct           |
+//! | `unsafe` | every `unsafe` is allowlisted *and* carries a `// SAFETY:` note  |
+//! | `fsync`  | no visible-state mutation between a WAL append and its barrier   |
+//! | `api`    | memo-allocating public fns have `_in` variants; public items doc |
+//!
+//! Every pass skips `#[cfg(test)]` / `#[test]` regions (tests unwrap
+//! freely, on purpose). Only the `panic` pass has a per-site escape
+//! hatch — `// lint: allow(panic, reason = "…")` with a mandatory
+//! non-empty reason; the others are governed by the allowlists in
+//! [`crate::config`], so loosening them is a reviewed config edit, not a
+//! drive-by comment.
+
+use crate::config::{FSYNC_METHODS, MEMO_TYPES};
+use crate::diag::{Diagnostic, Pass};
+use crate::source::{Allow, SourceFile};
+
+/// Method names denied in no-panic zones when called (`.name(`).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macro names denied in no-panic zones when invoked (`name!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Pass 1 — panic-freedom zones. Denies `unwrap`/`expect` calls,
+/// panicking macros, and direct slice/array indexing. A site can be
+/// excused with `// lint: allow(panic, reason = "…")` directly above or
+/// trailing the line; an annotation without a non-empty reason is itself
+/// a diagnostic.
+///
+/// `fns` narrows the zone to the named functions (by line extent); an
+/// empty slice means the whole file — see
+/// [`crate::config::NO_PANIC_ZONES`].
+pub fn panic_freedom(sf: &SourceFile<'_>, fns: &[&str]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ranges = (!fns.is_empty()).then(|| sf.fn_line_ranges(fns));
+    let in_zone = |line: u32| match &ranges {
+        None => true,
+        Some(rs) => rs.iter().any(|&(lo, hi)| (lo..=hi).contains(&line)),
+    };
+    let mut flag = |line: u32, message: String| match sf.allowed(line, "panic") {
+        Allow::Allowed => {}
+        Allow::MissingReason => out.push(Diagnostic::new(
+            Pass::Panic,
+            &sf.path,
+            line,
+            format!("{message} (allow annotation must carry a non-empty reason)"),
+        )),
+        Allow::None => out.push(Diagnostic::new(Pass::Panic, &sf.path, line, message)),
+    };
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if sf.in_test[i] || tok.is_comment() || !in_zone(tok.line) {
+            continue;
+        }
+        let prev = sf.prev_code(i);
+        let next = sf.next_code(i);
+        let prev_is = |p: char| prev.is_some_and(|j| sf.tokens[j].is_punct(p));
+        let next_is = |p: char| next.is_some_and(|j| sf.tokens[j].is_punct(p));
+        if PANIC_METHODS.contains(&tok.text) && prev_is('.') && next_is('(') {
+            flag(
+                tok.line,
+                format!("call to `{}` in a no-panic zone", tok.text),
+            );
+        } else if PANIC_MACROS.contains(&tok.text) && next_is('!') {
+            flag(
+                tok.line,
+                format!("`{}!` invocation in a no-panic zone", tok.text),
+            );
+        } else if tok.is_punct('[') {
+            // An index expression: `expr[…]` — the opening bracket
+            // follows a value (identifier, closing bracket/paren, `?`,
+            // or a literal). Types, attributes (`#[`), macros (`vec![`)
+            // and slice patterns all follow other punctuation and stay
+            // legal.
+            let indexes = prev.is_some_and(|j| {
+                let p = &sf.tokens[j];
+                matches!(
+                    p.kind,
+                    crate::lexer::TokKind::Ident | crate::lexer::TokKind::Str
+                ) || p.is_punct(']')
+                    || p.is_punct(')')
+                    || p.is_punct('?')
+            });
+            if indexes {
+                flag(
+                    tok.line,
+                    "direct slice/array indexing in a no-panic zone (use `get`)".to_owned(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2 — unsafe audit. Outside the allowlist, `unsafe` is denied
+/// outright. Inside it, every `unsafe` token must have a `// SAFETY:`
+/// comment on its line or within the 5 lines above (the window absorbs
+/// multi-line statements between the comment and the keyword).
+pub fn unsafe_audit(sf: &SourceFile<'_>, allowlisted: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, tok) in sf.tokens.iter().enumerate() {
+        if sf.in_test[i] || !tok.is_ident("unsafe") {
+            continue;
+        }
+        if !allowlisted {
+            out.push(Diagnostic::new(
+                Pass::Unsafe,
+                &sf.path,
+                tok.line,
+                "`unsafe` in a file outside the unsafe allowlist \
+                 (add it to config::UNSAFE_ALLOWLIST deliberately)",
+            ));
+        } else if !sf.comment_within(tok.line, 5, "SAFETY:") {
+            out.push(Diagnostic::new(
+                Pass::Unsafe,
+                &sf.path,
+                tok.line,
+                "`unsafe` without a `// SAFETY:` comment immediately above",
+            ));
+        }
+    }
+    out
+}
+
+/// Pass 3 — durability ordering. Within each function of a zone file,
+/// after a WAL append (`.append(WAL_BLOB, …)`) and before an
+/// fsync-family call ([`FSYNC_METHODS`]), no visible-state mutation may
+/// occur: assignments to `self.state` / `self.seq`, or an
+/// `engine.append(…)` apply. This is the static half of the
+/// durable-before-visible contract.
+pub fn fsync_order(sf: &SourceFile<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &sf.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if sf.in_test[i] || !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let name_ix = match sf.next_code(i) {
+            Some(j) if toks[j].kind == crate::lexer::TokKind::Ident => j,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let fn_name = toks[name_ix].text;
+        // Find the body: first top-level `{` before any top-level `;`.
+        let mut depth = 0i64;
+        let mut body: Option<(usize, usize)> = None;
+        let mut j = name_ix;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    let mut d = 0i64;
+                    let mut k = j;
+                    while k < toks.len() {
+                        match toks[k].text {
+                            "{" => d += 1,
+                            "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    body = Some((j, k));
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some((open, close)) = body else {
+            i = name_ix + 1;
+            continue;
+        };
+        check_fn_order(sf, fn_name, open, close, &mut out);
+        i = close + 1;
+    }
+    out
+}
+
+fn check_fn_order(
+    sf: &SourceFile<'_>,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &sf.tokens;
+    // None = clean; Some(line) = a WAL append at `line` awaits its
+    // barrier.
+    let mut pending: Option<u32> = None;
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if t.is_comment() {
+            continue;
+        }
+        let prev_dot = sf.prev_code(i).is_some_and(|j| toks[j].is_punct('.'));
+        let next = sf.next_code(i);
+        let next_is_paren = next.is_some_and(|j| toks[j].is_punct('('));
+        // `.append(WAL_BLOB, …)` — the WAL write.
+        if t.is_ident("append") && prev_dot && next_is_paren {
+            let arg = next.and_then(|j| sf.next_code(j));
+            if arg.is_some_and(|j| toks[j].is_ident("WAL_BLOB")) {
+                pending = Some(t.line);
+                continue;
+            }
+            // `engine.append(…)` (or any non-WAL append) applies replay
+            // state: a mutation if a WAL append is still unfenced.
+            if let Some(appended_at) = pending {
+                out.push(Diagnostic::new(
+                    Pass::Fsync,
+                    &sf.path,
+                    t.line,
+                    format!(
+                        "`{fn_name}` applies state (`.append(…)`) after the WAL append \
+                         on line {appended_at} without an intervening fsync-family call"
+                    ),
+                ));
+                pending = None;
+            }
+            continue;
+        }
+        // Fsync family clears the pending barrier.
+        if FSYNC_METHODS.contains(&t.text) && prev_dot && next_is_paren {
+            pending = None;
+            continue;
+        }
+        // `self.state = …` / `self.seq += …` — visible-state mutation.
+        if t.is_ident("self") {
+            let dot = sf.next_code(i).filter(|&j| toks[j].is_punct('.'));
+            let field = dot.and_then(|j| sf.next_code(j));
+            let field_name = field.map(|j| toks[j].text);
+            if matches!(field_name, Some("state" | "seq")) {
+                let after = field.and_then(|j| sf.next_code(j));
+                let after2 = after.and_then(|j| sf.next_code(j));
+                let assigns = match after.map(|j| toks[j].text) {
+                    Some("=") => after2.is_none_or(|j| toks[j].text != "="),
+                    Some("+" | "-") => after2.is_some_and(|j| toks[j].text == "="),
+                    _ => false,
+                };
+                if assigns {
+                    if let Some(appended_at) = pending {
+                        out.push(Diagnostic::new(
+                            Pass::Fsync,
+                            &sf.path,
+                            toks[i].line,
+                            format!(
+                                "`{fn_name}` mutates visible state (`self.{}`) after the WAL \
+                                 append on line {appended_at} without an intervening \
+                                 fsync-family call",
+                                field_name.unwrap_or_default()
+                            ),
+                        ));
+                        pending = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Options for [`api_discipline`], derived from the crate a file belongs
+/// to (see [`crate::config`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApiOptions {
+    /// Require `_in` pooling variants for memo-allocating public fns.
+    pub require_pooling: bool,
+    /// Require rustdoc on public items.
+    pub require_docs: bool,
+}
+
+/// Pass 4 — API discipline. With `require_pooling`, any `pub fn` whose
+/// body constructs a memo ([`MEMO_TYPES`]) must have a `pub fn <name>_in`
+/// sibling in the same file (the pooling convention: the `_in` variant
+/// takes the memo from the caller, the plain one allocates for
+/// ergonomics). With `require_docs`, every public item must carry
+/// rustdoc (`///`, `//!` or `#[doc…]`); outline `pub mod x;`
+/// declarations are exempt — their file-level `//!` docs live in `x.rs`.
+pub fn api_discipline(sf: &SourceFile<'_>, opts: ApiOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if opts.require_docs {
+        check_docs(sf, &mut out);
+    }
+    if opts.require_pooling {
+        check_pooling(sf, &mut out);
+    }
+    out
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+];
+
+fn check_docs(sf: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &sf.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if sf.in_test[i] || tok.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        if !ITEM_KEYWORDS.contains(&tok.text) {
+            continue;
+        }
+        // Directly preceded by bare `pub` (pub(crate)/pub(super) end in
+        // `)` and are not public API).
+        let Some(pub_ix) = sf.prev_code(i).filter(|&j| toks[j].is_ident("pub")) else {
+            continue;
+        };
+        // `pub mod x;` — documented by `//!` in x.rs; only inline
+        // `pub mod x { … }` needs docs here.
+        if tok.text == "mod" {
+            let semi = sf
+                .next_code(i)
+                .and_then(|j| sf.next_code(j))
+                .is_some_and(|j| toks[j].is_punct(';'));
+            if semi {
+                continue;
+            }
+        }
+        if !has_doc(sf, pub_ix) {
+            let name = sf.next_code(i).map(|j| toks[j].text).unwrap_or("<unnamed>");
+            out.push(Diagnostic::new(
+                Pass::Api,
+                &sf.path,
+                tok.line,
+                format!("public {} `{}` has no rustdoc", tok.text, name),
+            ));
+        }
+    }
+}
+
+/// True if the item whose `pub` sits at `pub_ix` is documented: walking
+/// back over attributes, the nearest token is a doc comment (or a
+/// `#[doc…]` attribute).
+fn has_doc(sf: &SourceFile<'_>, pub_ix: usize) -> bool {
+    let toks = &sf.tokens;
+    let mut i = pub_ix;
+    loop {
+        let Some(j) = i.checked_sub(1) else {
+            return false;
+        };
+        let t = &toks[j];
+        if t.is_comment() {
+            if t.text.starts_with("///") || t.text.starts_with("//!") || t.text.starts_with("/**") {
+                return true;
+            }
+            i = j;
+            continue;
+        }
+        // Walk over a preceding attribute `#[…]` (or inner `#![…]`).
+        if t.is_punct(']') {
+            let Some(open) = open_of(toks, j) else {
+                return false;
+            };
+            if toks[open + 1..j].iter().any(|t| t.is_ident("doc")) {
+                return true;
+            }
+            if open >= 1 && toks[open - 1].is_punct('#') {
+                i = open - 1;
+                continue;
+            }
+            if open >= 2 && toks[open - 1].is_punct('!') && toks[open - 2].is_punct('#') {
+                i = open - 2;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+/// Index of the `[` matching the `]` at `close_ix`.
+fn open_of(toks: &[crate::lexer::Token<'_>], close_ix: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in (0..=close_ix).rev() {
+        if toks[j].is_punct(']') {
+            depth += 1;
+        } else if toks[j].is_punct('[') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn check_pooling(sf: &SourceFile<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &sf.tokens;
+    // First sweep: every pub fn name in the file.
+    let mut pub_fns: Vec<(usize, &str, u32)> = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if sf.in_test[i] || !tok.is_ident("fn") {
+            continue;
+        }
+        if !sf.prev_code(i).is_some_and(|j| toks[j].is_ident("pub")) {
+            continue;
+        }
+        if let Some(j) = sf.next_code(i) {
+            if toks[j].kind == crate::lexer::TokKind::Ident {
+                pub_fns.push((j, toks[j].text, toks[j].line));
+            }
+        }
+    }
+    let names: std::collections::HashSet<&str> = pub_fns.iter().map(|&(_, n, _)| n).collect();
+    for &(name_ix, name, line) in &pub_fns {
+        if name.ends_with("_in") {
+            continue;
+        }
+        // Find the body and look for a memo construction `Memo::new(…)`.
+        let Some((open, close)) = fn_body(toks, name_ix) else {
+            continue;
+        };
+        let allocates = (open..close).any(|k| {
+            MEMO_TYPES.contains(&toks[k].text)
+                && sf.next_code(k).is_some_and(|a| toks[a].is_punct(':'))
+        });
+        if allocates && !names.contains(format!("{name}_in").as_str()) {
+            out.push(Diagnostic::new(
+                Pass::Api,
+                &sf.path,
+                line,
+                format!(
+                    "public fn `{name}` allocates a memo but has no `{name}_in` pooling variant"
+                ),
+            ));
+        }
+    }
+}
+
+/// Token range of a fn body, given the index of the fn's name token.
+fn fn_body(toks: &[crate::lexer::Token<'_>], name_ix: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut j = name_ix;
+    while j < toks.len() {
+        match toks[j].text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 && toks[j].kind == crate::lexer::TokKind::Punct => {
+                let mut d = 0i64;
+                let mut k = j;
+                while k < toks.len() {
+                    match toks[k].text {
+                        "{" => d += 1,
+                        "}" => {
+                            d -= 1;
+                            if d == 0 {
+                                return Some((j, k));
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return None;
+            }
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}

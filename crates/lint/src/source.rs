@@ -1,0 +1,342 @@
+//! [`SourceFile`]: one lexed file plus the derived views every pass
+//! needs — a per-token test-region mask, per-line comment/code indexes,
+//! and the `// lint: allow(…)` escape-hatch lookup.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{lex, LexError, TokKind, Token};
+
+/// Verdict of an escape-hatch lookup at a flagged line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allow {
+    /// No allow annotation in scope.
+    None,
+    /// A well-formed `// lint: allow(<pass>, reason = "…")` covers the
+    /// line.
+    Allowed,
+    /// An allow annotation is present but its `reason` is missing or
+    /// empty — itself a diagnostic.
+    MissingReason,
+}
+
+/// A lexed source file with the derived structure shared by the passes.
+pub struct SourceFile<'a> {
+    /// Workspace-relative path (diagnostics key off it).
+    pub path: String,
+    /// The token stream, comments included.
+    pub tokens: Vec<Token<'a>>,
+    /// `in_test[i]` — token `i` is inside a `#[cfg(test)]` / `#[test]`
+    /// item, which every pass exempts (fixtures and tests unwrap freely).
+    pub in_test: Vec<bool>,
+    /// Lines that carry at least one non-comment token.
+    code_lines: HashSet<u32>,
+    /// Comment text by starting line.
+    comments: HashMap<u32, Vec<&'a str>>,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes `src` and computes the derived views. `path` should be
+    /// workspace-relative.
+    pub fn parse(path: &str, src: &'a str) -> Result<Self, LexError> {
+        let tokens = lex(src)?;
+        let in_test = test_mask(&tokens);
+        let mut code_lines = HashSet::new();
+        let mut comments: HashMap<u32, Vec<&'a str>> = HashMap::new();
+        for t in &tokens {
+            if t.is_comment() {
+                comments.entry(t.line).or_default().push(t.text);
+            } else {
+                code_lines.insert(t.line);
+            }
+        }
+        Ok(SourceFile {
+            path: path.to_owned(),
+            tokens,
+            in_test,
+            code_lines,
+            comments,
+        })
+    }
+
+    /// Index of the previous non-comment token before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        self.tokens[..i].iter().rposition(|t| !t.is_comment())
+    }
+
+    /// Index of the next non-comment token after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        self.tokens
+            .get(i + 1..)?
+            .iter()
+            .position(|t| !t.is_comment())
+            .map(|off| i + 1 + off)
+    }
+
+    /// Looks for a `lint: allow(<pass>, reason = "…")` annotation
+    /// covering `line`: on the line itself (trailing comment) or on the
+    /// contiguous run of comment-only lines directly above it.
+    pub fn allowed(&self, line: u32, pass: &str) -> Allow {
+        let mut best = Allow::None;
+        let mut check = |l: u32| {
+            if let Some(comments) = self.comments.get(&l) {
+                for c in comments {
+                    match allow_verdict(c, pass) {
+                        Allow::Allowed => best = Allow::Allowed,
+                        Allow::MissingReason if best == Allow::None => best = Allow::MissingReason,
+                        _ => {}
+                    }
+                }
+            }
+        };
+        check(line);
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            // Stop at the first line that is code or blank: the
+            // annotation must sit directly above what it excuses.
+            if self.code_lines.contains(&l) || !self.comments.contains_key(&l) {
+                break;
+            }
+            check(l);
+        }
+        best
+    }
+
+    /// Line extents of every `fn` whose name is in `names` (any nesting
+    /// level), attribute lines excluded: from the `fn` keyword's line to
+    /// the line of the body's closing `}` (or terminating `;`). Used to
+    /// scope a no-panic zone to the declared functions of a file.
+    pub fn fn_line_ranges(&self, names: &[&str]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !tok.is_ident("fn") {
+                continue;
+            }
+            let Some(name_ix) = self.next_code(i) else {
+                continue;
+            };
+            let named = self.tokens[name_ix].kind == TokKind::Ident
+                && names.contains(&self.tokens[name_ix].text);
+            if !named {
+                continue;
+            }
+            if let Some(end) = item_end(&self.tokens, i) {
+                out.push((tok.line, self.tokens[end].line));
+            }
+        }
+        out
+    }
+
+    /// True if a comment containing `needle` starts on `line` or within
+    /// the `window` lines above it — the `// SAFETY:` proximity rule
+    /// (the window absorbs multi-line statements between the comment and
+    /// the `unsafe` token).
+    pub fn comment_within(&self, line: u32, window: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(window);
+        (lo..=line).any(|l| {
+            self.comments
+                .get(&l)
+                .is_some_and(|cs| cs.iter().any(|c| c.contains(needle)))
+        })
+    }
+}
+
+/// Parses one comment for `lint: allow(<pass>, reason = "…")`.
+fn allow_verdict(comment: &str, pass: &str) -> Allow {
+    let Some(at) = comment.find("lint: allow(") else {
+        return Allow::None;
+    };
+    let body = &comment[at + "lint: allow(".len()..];
+    let named = body
+        .split([',', ')'])
+        .next()
+        .map(str::trim)
+        .unwrap_or_default();
+    if named != pass {
+        return Allow::None;
+    }
+    // The reason must be present and non-empty: `reason = "…"`.
+    let Some(r) = body.find("reason") else {
+        return Allow::MissingReason;
+    };
+    let after = body[r + "reason".len()..].trim_start();
+    let Some(after) = after.strip_prefix('=') else {
+        return Allow::MissingReason;
+    };
+    let after = after.trim_start();
+    match after.strip_prefix('"') {
+        Some(rest) if !rest.starts_with('"') && rest.contains('"') => Allow::Allowed,
+        _ => Allow::MissingReason,
+    }
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
+/// item (attribute included, through the item's closing `}` or `;`).
+fn test_mask(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching(tokens, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let attr = &tokens[i + 2..attr_end];
+            // `#[cfg(not(test))]` gates *live* code; masking it would
+            // exempt real paths from the lint.
+            let is_test_attr = attr
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("bench"))
+                && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test_attr {
+                let end = item_end(tokens, attr_end + 1).unwrap_or(tokens.len() - 1);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the punct closing the group opened at `open_ix` (which must
+/// hold `open`).
+fn matching(tokens: &[Token<'_>], open_ix: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (ix, t) in tokens.iter().enumerate().skip(open_ix) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(ix);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start` (skipping any
+/// further attributes): the matching `}` of its first top-level brace, or
+/// the first `;` outside every bracket group.
+fn item_end(tokens: &[Token<'_>], mut start: usize) -> Option<usize> {
+    // Skip stacked attributes on the same item.
+    while tokens.get(start).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(start + 1).is_some_and(|t| t.is_punct('['))
+    {
+        start = matching(tokens, start + 1, '[', ']')? + 1;
+    }
+    let mut depth = 0i64;
+    for (ix, t) in tokens.iter().enumerate().skip(start) {
+        match t.text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if t.kind == TokKind::Punct && depth == 0 => {
+                return matching(tokens, ix, '{', '}');
+            }
+            ";" if depth == 0 => return Some(ix),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_items_are_masked_and_code_is_not() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        let unwraps: Vec<bool> = sf
+            .tokens
+            .iter()
+            .zip(&sf.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let live2 = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live2"))
+            .expect("present");
+        assert!(!sf.in_test[live2], "code after the test mod is live again");
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let src = "#[test]\nfn t() { a.unwrap() }\nfn live() { }\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        let live = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("present");
+        assert!(!sf.in_test[live]);
+        let unw = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("present");
+        assert!(sf.in_test[unw]);
+    }
+
+    #[test]
+    fn semicolon_items_respect_nested_brackets() {
+        // The `;` inside `[u8; 2]` must not terminate the masked item.
+        let src = "#[cfg(test)]\nconst X: [u8; 2] = [1, 2];\nfn live() {}\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        let live = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("present");
+        assert!(!sf.in_test[live]);
+        let two = sf
+            .tokens
+            .iter()
+            .position(|t| t.text == "2" && t.kind == TokKind::Number)
+            .expect("present");
+        assert!(sf.in_test[two]);
+    }
+
+    #[test]
+    fn allow_annotations_parse_strictly() {
+        let src = "\
+            // lint: allow(panic, reason = \"checked above\")\n\
+            x.unwrap();\n\
+            // lint: allow(panic)\n\
+            y.unwrap();\n\
+            z.unwrap(); // lint: allow(panic, reason = \"trailing\")\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        assert_eq!(sf.allowed(2, "panic"), Allow::Allowed);
+        assert_eq!(sf.allowed(4, "panic"), Allow::MissingReason);
+        assert_eq!(sf.allowed(5, "panic"), Allow::Allowed);
+        assert_eq!(sf.allowed(2, "unsafe"), Allow::None);
+    }
+
+    #[test]
+    fn allow_must_sit_directly_above() {
+        let src = "// lint: allow(panic, reason = \"too far\")\n\
+                   let gap = 1;\n\
+                   x.unwrap();\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        assert_eq!(sf.allowed(3, "panic"), Allow::None);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let src = "// lint: allow(panic, reason = \"\")\nx.unwrap();\n";
+        let sf = SourceFile::parse("f.rs", src).expect("lexes");
+        assert_eq!(sf.allowed(2, "panic"), Allow::MissingReason);
+    }
+}

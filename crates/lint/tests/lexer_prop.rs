@@ -1,0 +1,155 @@
+//! Tokenizer property tests: the code-token stream is **stable under
+//! injection** of comments, strings and raw strings. Injected comments
+//! must never change what code the passes see, and injected string
+//! literals must arrive as single opaque tokens — the two failure modes
+//! that would quietly corrupt every pass (a comment swallowing code, or
+//! a string's contents leaking `unwrap`-shaped tokens into the stream).
+
+use benchkit::TestRng;
+use uprov_lint::lexer::{lex, TokKind};
+
+/// Base snippets mirroring the shapes the linter actually walks.
+const SNIPPETS: &[&str] = &[
+    "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    "pub fn take(&mut self, n: usize) -> Result<&[u8], E> { self.buf.get(n).ok_or(E) }",
+    "impl D { fn append(&mut self) { self.storage.append(WAL_BLOB, &b); self.seq += 1; } }",
+    "let s = \"already a string\"; let r = r#\"raw \" inside\"#; let c = 'x';",
+    "match tag { 0 => A, 1 => B, _ => return Err(e) }",
+    "let v: Vec<[u8; 4]> = vec![]; let l: &'static str = \"l\";",
+];
+
+/// Comment/string fragments to inject between tokens. Each is a single
+/// complete token; several contain decoy `unwrap`/`panic!` text that must
+/// stay inert inside its token.
+const INJECTIONS: &[&str] = &[
+    "/* block comment */",
+    "/* nested /* comments */ too */",
+    "// line comment with x.unwrap() inside\n",
+    "/* panic!(\"decoy\") */",
+    "// \"quote in comment\n",
+];
+
+/// String literals to inject as expression-position decoys (appended as
+/// `let _ = <lit>;` statements so the result stays lexable).
+const DECOY_STRINGS: &[&str] = &[
+    "\"x.unwrap()\"",
+    "\"// not a comment\"",
+    "r#\"raw with \" and unwrap()\"#",
+    "\"escaped \\\" quote\"",
+    "b\"bytes with // slashes\"",
+];
+
+fn code_tokens(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .expect("lexes")
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| (t.kind, t.text.to_owned()))
+        .collect()
+}
+
+#[test]
+fn code_tokens_are_stable_under_comment_injection() {
+    let mut rng = TestRng::new(0x1e97);
+    for &snippet in SNIPPETS {
+        let base = code_tokens(snippet);
+        for _round in 0..40 {
+            // Re-lex, then rebuild the source with a random comment
+            // between two random adjacent tokens (joined by spaces so
+            // token boundaries survive).
+            let toks = lex(snippet).expect("lexes");
+            let words: Vec<&str> = toks.iter().map(|t| t.text).collect();
+            let cut = rng.below(words.len() + 1);
+            let injection = INJECTIONS[rng.below(INJECTIONS.len())];
+            let mut rebuilt = String::new();
+            for (i, w) in words.iter().enumerate() {
+                if i == cut {
+                    rebuilt.push_str(injection);
+                    rebuilt.push(' ');
+                }
+                rebuilt.push_str(w);
+                rebuilt.push(' ');
+            }
+            if cut == words.len() {
+                rebuilt.push_str(injection);
+            }
+            let got = code_tokens(&rebuilt);
+            assert_eq!(
+                got, base,
+                "comment injection changed the code-token stream\nsource: {rebuilt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decoy_strings_stay_single_opaque_tokens() {
+    let mut rng = TestRng::new(0xace5);
+    for _round in 0..60 {
+        let snippet = SNIPPETS[rng.below(SNIPPETS.len())];
+        let decoy = DECOY_STRINGS[rng.below(DECOY_STRINGS.len())];
+        let src = format!("{snippet}\nlet _ = {decoy};");
+        let base = code_tokens(snippet);
+        let got = code_tokens(&src);
+        // The combined stream is exactly: base ++ [let, _, =, <Str>, ;].
+        assert_eq!(&got[..base.len()], &base[..], "prefix changed: {src}");
+        let tail = &got[base.len()..];
+        assert_eq!(tail.len(), 5, "tail: {tail:?}");
+        assert_eq!(tail[3].0, TokKind::Str, "decoy not one string token: {src}");
+        assert_eq!(tail[3].1, decoy, "decoy text mangled: {src}");
+        // And none of the decoy's innards leaked out as identifiers.
+        assert!(
+            tail.iter()
+                .all(|(k, t)| *k == TokKind::Str || t != "unwrap"),
+            "string contents leaked into the token stream: {src}"
+        );
+    }
+}
+
+#[test]
+fn rebuilding_from_tokens_is_a_lexing_fixed_point() {
+    // Space-joining a token stream and re-lexing yields the same stream
+    // (comments included): the lexer's token boundaries are self-
+    // consistent. This is the property the injection tests stand on.
+    for &snippet in SNIPPETS {
+        let toks = lex(snippet).expect("lexes");
+        let rebuilt: Vec<String> = toks.iter().map(|t| t.text.to_owned()).collect();
+        let joined = rebuilt.join(" ");
+        let again: Vec<String> = lex(&joined)
+            .expect("rebuilt source lexes")
+            .iter()
+            .map(|t| t.text.to_owned())
+            .collect();
+        assert_eq!(again, rebuilt, "re-lex diverged for: {joined}");
+    }
+}
+
+#[test]
+fn lexing_is_total_on_garbage() {
+    // Arbitrary byte soup either lexes or returns a typed error with a
+    // plausible line — it must never panic. (The line is 1-based and no
+    // larger than the line count.)
+    let mut rng = TestRng::new(0x9afe);
+    let alphabet: Vec<char> = "fn{}()[]\"'/*_ab0. \n\\#!r".chars().collect();
+    for _round in 0..200 {
+        let len = rng.below(60);
+        let src: String = (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect();
+        match lex(&src) {
+            Ok(toks) => {
+                for t in toks {
+                    assert!(t.line >= 1);
+                }
+            }
+            Err(e) => {
+                let lines = src.lines().count().max(1) as u32;
+                assert!(
+                    e.line >= 1 && e.line <= lines + 1,
+                    "line {} of {lines}",
+                    e.line
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The linter's own acceptance test: the actual workspace is clean. CI
+//! runs the binary too (`cargo run -p uprov-lint -- check`), but having
+//! the same assertion inside `cargo test` means a violation fails the
+//! ordinary test run — you cannot land one without noticing.
+
+use uprov_lint::check_workspace;
+
+#[test]
+fn workspace_has_zero_diagnostics() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let diags = check_workspace(&root).expect("workspace walks");
+    assert!(
+        diags.is_empty(),
+        "lint violations in the tree:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -57,6 +57,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod net;
 pub mod proto;
 pub mod service;
 pub mod values;

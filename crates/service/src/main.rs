@@ -30,6 +30,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
+use uprov_service::net;
 use uprov_service::service::{Client, Service, ServiceConfig};
 use uprov_storage::{DurableEngine, FileStorage, MemStorage, Storage};
 
@@ -143,14 +144,19 @@ fn open_and_run<S: Storage + Send + Sync + 'static>(
             };
             eprintln!("listening on {addr}");
             let mut sessions = Vec::new();
-            for stream in listener.incoming() {
-                // Stop accepting once a client has asked for shutdown.
-                if !service.is_accepting() {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let client = service.client();
-                sessions.push(std::thread::spawn(move || serve_stream(stream, &client)));
+            // Shutdown-aware accept loop: a client's shutdown request
+            // interrupts it within one poll interval even if no further
+            // connection ever arrives (see `uprov_service::net`).
+            let accepted = net::accept_loop(
+                &listener,
+                || service.is_accepting(),
+                |stream| {
+                    let client = service.client();
+                    sessions.push(std::thread::spawn(move || serve_stream(stream, &client)));
+                },
+            );
+            if let Err(e) = accepted {
+                eprintln!("accept loop failed: {e}");
             }
             for session in sessions {
                 let _ = session.join();

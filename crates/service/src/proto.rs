@@ -300,7 +300,7 @@ impl<'a> Lexer<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), ProtoError> {
+    fn expect_byte(&mut self, want: u8) -> Result<(), ProtoError> {
         if self.peek() == Some(want) {
             self.pos += 1;
             Ok(())
@@ -324,7 +324,8 @@ impl<'a> Lexer<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, ProtoError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -333,21 +334,28 @@ impl<'a> Lexer<'a> {
     }
 
     fn number(&mut self) -> Result<Json, ProtoError> {
+        // Digits accumulate directly (checked): no slice back over the
+        // input, no intermediate string — the parse stays total.
         let start = self.pos;
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
+        let mut value: u64 = 0;
+        while let Some(d @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(d - b'0')))
+                .ok_or_else(|| self.err("integer out of range"))?;
             self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a digit"));
         }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
             return Err(self.err("only unsigned integers are supported"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
-        text.parse::<u64>()
-            .map(Json::Int)
-            .map_err(|_| self.err("integer out of range"))
+        Ok(Json::Int(value))
     }
 
     fn string(&mut self) -> Result<String, ProtoError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -387,9 +395,11 @@ impl<'a> Lexer<'a> {
                 Some(_) => {
                     // Multi-byte UTF-8 passes through untouched: find the
                     // char boundary and copy the whole scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    let rest = std::str::from_utf8(self.bytes.get(self.pos..).unwrap_or_default())
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("peeked non-empty");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -398,7 +408,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ProtoError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -420,7 +430,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ProtoError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -434,7 +444,7 @@ impl<'a> Lexer<'a> {
                 return Err(self.err(format!("duplicate key `{key}`")));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             self.skip_ws();

@@ -198,6 +198,13 @@ impl<S: Storage> Client<S> {
         self.id
     }
 
+    /// True until shutdown begins — [`Service::is_accepting`] through a
+    /// client handle, so connection loops that only hold clients (the
+    /// accept loop's sessions) can watch the gate too.
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::SeqCst)
+    }
+
     /// Submits a request and blocks for the response.
     ///
     /// Never panics and never blocks on a full queue: overload and

@@ -84,24 +84,35 @@ impl<'a> Reader<'a> {
 
     /// Reads `n` raw bytes.
     pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
-        if self.remaining() < n {
-            return Err(self.err(what));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| self.err(what))?;
         self.pos += n;
         Ok(out)
     }
 
+    /// Reads one raw byte.
+    pub fn take_byte(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        let b = self
+            .buf
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
     /// Reads a little-endian `u32`.
     pub fn take_u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
-        let bytes = self.take(4, what)?;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+        let bytes: [u8; 4] = self.take(4, what)?.try_into().map_err(|_| self.err(what))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Reads a little-endian `u64`.
     pub fn take_u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
-        let bytes = self.take(8, what)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self.take(8, what)?.try_into().map_err(|_| self.err(what))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads a length-prefixed UTF-8 string (see [`put_str`]).
@@ -170,7 +181,7 @@ pub fn take_update_log(r: &mut Reader<'_>) -> Result<UpdateLog, DecodeError> {
         let nops = r.take_u32("op count")?;
         let mut ops = Vec::with_capacity(nops.min(1 << 16) as usize);
         for _ in 0..nops {
-            let tag = r.take(1, "op tag")?[0];
+            let tag = r.take_byte("op tag")?;
             ops.push(match tag {
                 OP_INSERT => Op::Insert {
                     tuple: r.take_str("insert tuple")?,

@@ -298,6 +298,7 @@ impl<S: Storage> DurableEngine<S> {
         let applied = self
             .engine
             .append(&mut self.state, log)
+            // lint: allow(panic, reason = "the same log validated against the same state before the WAL write; a rejection here means the WAL now holds a record replay would refuse, and crashing beats diverging from disk")
             .expect("validated before logging");
         Ok(applied)
     }

@@ -388,34 +388,38 @@ fn decode_tail(
 /// reported ahead of any parse error (the payload bytes themselves are
 /// untrustworthy), exactly as if the CRC had been checked first.
 pub fn decode(bytes: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
-    // Header.
+    // Header. The magic comparison and every header field go through
+    // total reads: a blob shorter than its fixed header is a typed error,
+    // not a slice panic.
+    let magic_ok = bytes.starts_with(&SNAPSHOT_MAGIC);
     if bytes.len() < 24 {
-        return Err(if bytes.len() >= 8 && bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(if bytes.len() >= 8 && !magic_ok {
             SnapshotError::BadMagic
         } else {
             SnapshotError::TooShort
         });
     }
-    if bytes[..8] != SNAPSHOT_MAGIC {
+    if !magic_ok {
         return Err(SnapshotError::BadMagic);
     }
-    let mut hdr = Reader::new(&bytes[8..24]);
-    let version = hdr.take_u32("version").expect("sized above");
+    let mut hdr = Reader::new(bytes.get(8..24).unwrap_or_default());
+    let version = hdr.take_u32("version")?;
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let payload_len = hdr.take_u64("payload length").expect("sized above");
-    let stored = hdr.take_u32("payload checksum").expect("sized above");
+    let payload_len = hdr.take_u64("payload length")?;
+    let stored = hdr.take_u32("payload checksum")?;
     if bytes.len() as u64 - 24 != payload_len {
         return Err(SnapshotError::LengthMismatch);
     }
-    let payload = &bytes[24..];
+    let payload = bytes.get(24..).unwrap_or_default();
     const CRC_OFFLOAD: usize = 1 << 16;
     std::thread::scope(|s| {
         let crc_task =
             (payload.len() >= CRC_OFFLOAD && multicore()).then(|| s.spawn(move || crc32(payload)));
         let parsed = decode_payload(payload);
         let computed = match crc_task {
+            // lint: allow(panic, reason = "join fails only if the crc closure panicked, and crc32 is a total table-driven loop; re-raising the panic is the only sound response")
             Some(task) => task.join().expect("crc pass does not panic"),
             None => crc32(payload),
         };
@@ -445,7 +449,7 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
     let mut atoms = AtomTable::new();
     atoms.reserve(natoms.min(1 << 16));
     for ix in 0..natoms {
-        let kind = match r.take(1, "atom kind")?[0] {
+        let kind = match r.take_byte("atom kind")? {
             0 => AtomKind::Tuple,
             1 => AtomKind::Txn,
             _ => return Err(SnapshotError::Corrupt("unknown atom kind")),
@@ -482,7 +486,7 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
             }
             Ok(NodeId::from_index(raw))
         };
-        let node = match r.take(1, "node tag")?[0] {
+        let node = match r.take_byte("node tag")? {
             NODE_ATOM => {
                 let raw = r.take_u32("atom node index")? as usize;
                 if raw >= natoms {
@@ -491,7 +495,7 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
                 Node::Atom(Atom::from_index(raw))
             }
             NODE_BIN => {
-                let op = op_from_tag(r.take(1, "binop tag")?[0])
+                let op = op_from_tag(r.take_byte("binop tag")?)
                     .ok_or(SnapshotError::Corrupt("unknown binop tag"))?;
                 let a = child(&mut r, "bin lhs")?;
                 let b = child(&mut r, "bin rhs")?;
@@ -506,7 +510,7 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
                 Node::Sum(terms.into_boxed_slice())
             }
             NODE_COUNTED => {
-                let op = op_from_tag(r.take(1, "counted op tag")?[0])
+                let op = op_from_tag(r.take_byte("counted op tag")?)
                     .ok_or(SnapshotError::Corrupt("unknown binop tag"))?;
                 if !matches!(op, BinOp::PlusI | BinOp::PlusM) {
                     return Err(SnapshotError::Corrupt(
@@ -568,6 +572,7 @@ fn decode_payload(payload: &[u8]) -> Result<RecoveredSnapshot, SnapshotError> {
         std::thread::scope(|s| {
             let rebuild = s.spawn(move || ExprArena::from_canonical_nodes(nodes));
             let tail = decode_tail(&mut r, &atoms, natoms, nnodes);
+            // lint: allow(panic, reason = "join fails only if the bulk rebuild panicked; from_canonical_nodes returns typed errors, so a panic there is a bug worth crashing on")
             let arena = rebuild.join().expect("bulk arena rebuild does not panic");
             (arena, tail)
         })

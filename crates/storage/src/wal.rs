@@ -145,7 +145,7 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan, BadMagic> {
     if bytes.len() < WAL_MAGIC.len() {
         // Crash while writing the magic itself: a prefix of the magic is a
         // torn creation (truncate to empty); anything else is not ours.
-        return if bytes == &WAL_MAGIC[..bytes.len()] {
+        return if WAL_MAGIC.starts_with(bytes) {
             Ok(WalScan {
                 records: Vec::new(),
                 valid_len: 0,
@@ -155,7 +155,7 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan, BadMagic> {
             Err(BadMagic)
         };
     }
-    if bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if !bytes.starts_with(&WAL_MAGIC) {
         return Err(BadMagic);
     }
     let mut records = Vec::new();
@@ -179,15 +179,17 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan, BadMagic> {
                 })
             };
         }
-        if bytes.len() - pos < 8 {
+        let (Some(len), Some(stored_crc)) = (read_u32_at(bytes, pos), read_u32_at(bytes, pos + 4))
+        else {
             finish!(WalTail::TornHeader { offset: pos as u64 });
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if bytes.len() - pos - 8 < len {
+        };
+        let len = len as usize;
+        let Some(payload) = (pos + 8)
+            .checked_add(len)
+            .and_then(|end| bytes.get(pos + 8..end))
+        else {
             finish!(WalTail::TornPayload { offset: pos as u64 });
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
+        };
         if crc32(payload) != stored_crc {
             finish!(WalTail::ChecksumMismatch { offset: pos as u64 });
         }
@@ -201,6 +203,13 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan, BadMagic> {
         }
         pos += 8 + len;
     }
+}
+
+/// Reads the little-endian `u32` at `pos`, or `None` when fewer than four
+/// bytes remain — the total form of the record-header reads in [`scan`].
+fn read_u32_at(bytes: &[u8], pos: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(pos..pos.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
 }
 
 #[cfg(test)]
